@@ -1,0 +1,60 @@
+// Command ripki-dnsd serves a generated world's DNS zones over UDP, so
+// the measurement pipeline (or plain dig/host) can resolve the
+// synthetic web through a real resolver hop — one of the "several
+// public resolvers" of the paper's methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"ripki/internal/dns"
+	"ripki/internal/webworld"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ripki-dnsd: ")
+	var (
+		listen   = flag.String("listen", "127.0.0.1:5354", "UDP listen address")
+		domains  = flag.Int("domains", 20000, "world size")
+		seed     = flag.Int64("seed", 1, "world generation seed")
+		zoneFile = flag.String("zones", "", "serve a zones.tsv dump instead of generating a world")
+		verbose  = flag.Bool("v", false, "log queries")
+	)
+	flag.Parse()
+
+	var registry *dns.Registry
+	if *zoneFile != "" {
+		f, err := os.Open(*zoneFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		registry, err = dns.LoadZoneTSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		w, err := webworld.Generate(webworld.Config{Seed: *seed, Domains: *domains})
+		if err != nil {
+			log.Fatal(err)
+		}
+		registry = w.Registry
+	}
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d names on %s\n", registry.Len(), conn.LocalAddr())
+	srv := dns.NewServer(registry)
+	if *verbose {
+		srv.Logf = log.Printf
+	}
+	if err := srv.Serve(conn); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+// Command ripki-rtrd serves validated ROA payloads to routers over the
+// RPKI-to-Router protocol (RFC 6810), like a relying-party cache
+// (rpki-client + stayrtr, or routinator).
+//
+// The VRPs come either from a CSV export (-vrps, the format
+// ripki-worldgen writes) or from validating a freshly generated world
+// (-domains/-seed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/rtr"
+	"ripki/internal/webworld"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ripki-rtrd: ")
+	var (
+		listen  = flag.String("listen", "127.0.0.1:8282", "RTR listen address")
+		vrpFile = flag.String("vrps", "", "VRP CSV file to serve (instead of generating a world)")
+		domains = flag.Int("domains", 20000, "world size when generating")
+		seed    = flag.Int64("seed", 1, "world generation seed")
+		session = flag.Uint("session", 911, "RTR session ID")
+	)
+	flag.Parse()
+
+	var set *vrp.Set
+	if *vrpFile != "" {
+		f, err := os.Open(*vrpFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set, err = vrp.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		w, err := webworld.Generate(webworld.Config{Seed: *seed, Domains: *domains})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := w.Repo.Validate(w.MeasureTime())
+		for _, p := range res.Problems {
+			log.Printf("validation: %v", p)
+		}
+		set = res.VRPs
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d VRPs over RTR on %s (session %d)\n", set.Len(), ln.Addr(), *session)
+	srv := rtr.NewServer(set, uint16(*session))
+	srv.Logf = log.Printf
+	if err := srv.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Command ripki-validate performs one-shot RFC 6811 origin validation:
+// given a VRP source and route(s), it prints valid / invalid / not
+// found with the covering VRPs, like an origin-validation looking
+// glass.
+//
+//	ripki-validate -vrps world/vrps.csv 193.0.6.0/24 3333
+//	ripki-validate -rtr 127.0.0.1:8282 193.0.6.0/24 3333
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/rtr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ripki-validate: ")
+	var (
+		vrpFile = flag.String("vrps", "", "VRP CSV file")
+		rtrAddr = flag.String("rtr", "", "RTR cache address to sync from")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 || len(args)%2 != 0 {
+		log.Fatal("usage: ripki-validate (-vrps file | -rtr addr) <prefix> <asn> [<prefix> <asn> ...]")
+	}
+
+	var set *vrp.Set
+	switch {
+	case *vrpFile != "":
+		f, err := os.Open(*vrpFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set, err = vrp.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *rtrAddr != "":
+		c, err := rtr.Dial(*rtrAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Reset(); err != nil {
+			log.Fatal(err)
+		}
+		set = c.Set()
+		c.Close()
+	default:
+		log.Fatal("need -vrps or -rtr")
+	}
+
+	exit := 0
+	for i := 0; i < len(args); i += 2 {
+		prefix, err := netip.ParsePrefix(args[i])
+		if err != nil {
+			log.Fatalf("bad prefix %q: %v", args[i], err)
+		}
+		asnText := strings.TrimPrefix(strings.ToUpper(args[i+1]), "AS")
+		asn, err := strconv.ParseUint(asnText, 10, 32)
+		if err != nil {
+			log.Fatalf("bad ASN %q: %v", args[i+1], err)
+		}
+		state, covering := set.ValidateExplain(prefix, uint32(asn))
+		fmt.Printf("%s AS%d: %s\n", prefix, asn, state)
+		for _, v := range covering {
+			fmt.Printf("  covered by %s\n", v)
+		}
+		if state == vrp.Invalid {
+			exit = 2
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,131 @@
+package ripki
+
+// This file proves the pipeline is generator-agnostic: every input can
+// arrive from disk in the formats the real study consumed (ranked CSV,
+// MRT table dump, VRP CSV, zone dump), exactly as ripki-worldgen writes
+// them — so the same code would run against captured real-world data.
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ripki/internal/alexa"
+	"ripki/internal/dns"
+	"ripki/internal/measure"
+	"ripki/internal/rib"
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/webworld"
+)
+
+func TestPipelineFromArtifacts(t *testing.T) {
+	world, err := webworld.Generate(webworld.Config{Seed: 77, Domains: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validation := world.Repo.Validate(world.MeasureTime())
+	if len(validation.Problems) != 0 {
+		t.Fatalf("validation: %v", validation.Problems[:1])
+	}
+
+	// Write all four artifacts the way ripki-worldgen does.
+	dir := t.TempDir()
+	writeFile := func(name string, fn func(f *os.File) error) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	alexaPath := writeFile("alexa.csv", func(f *os.File) error { return world.List.WriteCSV(f) })
+	mrtPath := writeFile("rib.mrt", func(f *os.File) error {
+		return world.RIB.DumpMRT(f, world.RIB.Peers()[0].BGPID, "rrc00", world.Cfg.Clock)
+	})
+	vrpPath := writeFile("vrps.csv", func(f *os.File) error { return validation.VRPs.WriteCSV(f) })
+	zonePath := writeFile("zones.tsv", func(f *os.File) error { return world.Registry.WriteZoneTSV(f) })
+
+	// Reload everything from bytes alone.
+	readBack := func(path string) *os.File {
+		t.Helper()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		return f
+	}
+	list, err := alexa.ReadCSV(readBack(alexaPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := rib.LoadMRT(readBack(mrtPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrps, err := vrp.ReadCSV(readBack(vrpPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry, err := dns.LoadZoneTSV(readBack(zonePath))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the methodology over the reloaded inputs and over the live
+	// world; the headline outcomes must agree.
+	run := func(l *alexa.List, reg *dns.Registry, tb *rib.Table, vs *vrp.Set) *measure.Dataset {
+		t.Helper()
+		ds, err := measure.Run(l, measure.Config{
+			Resolver: dns.RegistryResolver{Registry: reg},
+			RIB:      tb,
+			VRPs:     vs,
+			BinWidth: 800,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	fromFiles := run(list, registry, table, vrps)
+	inMemory := run(world.List, world.Registry, world.RIB, validation.VRPs)
+
+	if fromFiles.Totals != inMemory.Totals {
+		t.Errorf("headline totals diverge:\n files: %+v\n live:  %+v", fromFiles.Totals, inMemory.Totals)
+	}
+	meanCoverage := func(ds *measure.Dataset) float64 {
+		var sum, n float64
+		for i := range ds.Results {
+			if ds.Results[i].WWW.Pairs > 0 {
+				sum += ds.Results[i].WWW.CoverageProb()
+				n++
+			}
+		}
+		return sum / n
+	}
+	a, b := meanCoverage(fromFiles), meanCoverage(inMemory)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("coverage differs: files %v vs live %v", a, b)
+	}
+
+	// Figure output must be byte-identical.
+	var f1, f2 bytes.Buffer
+	if err := fromFiles.Figure2(VariantWWW).WriteTSV(&f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := inMemory.Figure2(VariantWWW).WriteTSV(&f2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f1.Bytes(), f2.Bytes()) {
+		t.Error("Figure 2 differs between file-loaded and live inputs")
+	}
+}

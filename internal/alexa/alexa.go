@@ -1,0 +1,97 @@
+// Package alexa handles ranked website lists in the format of the Alexa
+// "Top 1M Sites" CSV: one "rank,domain" pair per line, rank starting at
+// one. The paper's methodology step (1) selects its sample set from this
+// list.
+package alexa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Entry is one ranked domain.
+type Entry struct {
+	Rank   int // 1-based
+	Domain string
+}
+
+// List is a ranked domain list, ordered by rank.
+type List struct {
+	entries []Entry
+}
+
+// FromDomains builds a list from domains already ordered by popularity.
+func FromDomains(domains []string) *List {
+	l := &List{entries: make([]Entry, len(domains))}
+	for i, d := range domains {
+		l.entries[i] = Entry{Rank: i + 1, Domain: strings.ToLower(d)}
+	}
+	return l
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.entries) }
+
+// Entries returns the underlying slice (not a copy; treat as read-only).
+func (l *List) Entries() []Entry { return l.entries }
+
+// Top returns a new list containing the first n entries (or all, if
+// fewer).
+func (l *List) Top(n int) *List {
+	if n > len(l.entries) {
+		n = len(l.entries)
+	}
+	return &List{entries: l.entries[:n]}
+}
+
+// WriteCSV emits the list in "rank,domain" form.
+func (l *List) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range l.entries {
+		if _, err := fmt.Fprintf(bw, "%d,%s\n", e.Rank, e.Domain); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a "rank,domain" list. Ranks must be positive and
+// strictly increasing; blank lines are skipped.
+func ReadCSV(r io.Reader) (*List, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	l := &List{}
+	line := 0
+	lastRank := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		rank, domain, ok := strings.Cut(text, ",")
+		if !ok {
+			return nil, fmt.Errorf("alexa: line %d: missing comma", line)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(rank))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("alexa: line %d: bad rank %q", line, rank)
+		}
+		if n <= lastRank {
+			return nil, fmt.Errorf("alexa: line %d: rank %d not increasing", line, n)
+		}
+		lastRank = n
+		domain = strings.ToLower(strings.TrimSpace(domain))
+		if domain == "" {
+			return nil, fmt.Errorf("alexa: line %d: empty domain", line)
+		}
+		l.entries = append(l.entries, Entry{Rank: n, Domain: domain})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("alexa: %w", err)
+	}
+	return l, nil
+}

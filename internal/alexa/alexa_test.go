@@ -1,0 +1,66 @@
+package alexa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFromDomainsAndTop(t *testing.T) {
+	l := FromDomains([]string{"Google.com", "facebook.com", "youtube.com"})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	es := l.Entries()
+	if es[0].Rank != 1 || es[0].Domain != "google.com" {
+		t.Errorf("entry 0 = %+v", es[0])
+	}
+	top := l.Top(2)
+	if top.Len() != 2 || top.Entries()[1].Domain != "facebook.com" {
+		t.Errorf("Top(2) = %+v", top.Entries())
+	}
+	if l.Top(99).Len() != 3 {
+		t.Error("Top beyond length truncated wrongly")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := FromDomains([]string{"google.com", "facebook.com", "youtube.com"})
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || got.Entries()[2].Domain != "youtube.com" || got.Entries()[2].Rank != 3 {
+		t.Errorf("round trip = %+v", got.Entries())
+	}
+}
+
+func TestReadCSVValidation(t *testing.T) {
+	cases := []string{
+		"1 google.com",     // no comma
+		"0,google.com",     // zero rank
+		"x,google.com",     // non-numeric rank
+		"2,a.com\n1,b.com", // decreasing
+		"1,a.com\n1,b.com", // duplicate rank
+		"1,",               // empty domain
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted bad input", in)
+		}
+	}
+	// Blank lines are fine.
+	l, err := ReadCSV(strings.NewReader("1,a.com\n\n2,b.com\n"))
+	if err != nil || l.Len() != 2 {
+		t.Errorf("blank-line handling: %v, %d", err, l.Len())
+	}
+	// Sparse ranks are allowed (Alexa lists occasionally skip).
+	l, err = ReadCSV(strings.NewReader("1,a.com\n5,b.com\n"))
+	if err != nil || l.Entries()[1].Rank != 5 {
+		t.Errorf("sparse ranks: %v", err)
+	}
+}

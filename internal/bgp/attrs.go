@@ -1,0 +1,65 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// PathAttrs is the attribute set attached to one RIB entry: the subset
+// of UPDATE attributes that MRT TABLE_DUMP_V2 RIB records carry.
+type PathAttrs struct {
+	Origin  uint8
+	ASPath  []Segment
+	NextHop netip.Addr // IPv4 → NEXT_HOP, IPv6 → MP_REACH next hop
+}
+
+// EncodePathAttrs renders a path-attribute block as it appears inside
+// MRT RIB entries (and inside UPDATE messages).
+func EncodePathAttrs(a PathAttrs) ([]byte, error) {
+	var attrs []byte
+	attrs = appendAttr(attrs, flagTransitive, AttrOrigin, []byte{a.Origin})
+	var pathBody []byte
+	for _, seg := range a.ASPath {
+		if len(seg.ASNs) > 255 {
+			return nil, errors.New("bgp: AS_PATH segment too long")
+		}
+		pathBody = append(pathBody, seg.Type, byte(len(seg.ASNs)))
+		for _, asn := range seg.ASNs {
+			pathBody = append(pathBody, byte(asn>>24), byte(asn>>16), byte(asn>>8), byte(asn))
+		}
+	}
+	attrs = appendAttr(attrs, flagTransitive, AttrASPath, pathBody)
+	switch {
+	case a.NextHop.Is4():
+		nh := a.NextHop.As4()
+		attrs = appendAttr(attrs, flagTransitive, AttrNextHop, nh[:])
+	case a.NextHop.Is6():
+		// Reuse the UPDATE MP_REACH layout with an empty NLRI so one
+		// parser serves both: AFI(2), SAFI(1), next-hop length(1),
+		// next hop, reserved(1).
+		var b []byte
+		b = append(b, 0, AFIIPv6, SAFIUnicast, 16)
+		nh := a.NextHop.As16()
+		b = append(b, nh[:]...)
+		b = append(b, 0) // reserved
+		attrs = appendAttr(attrs, flagOptional, AttrMPReachNLRI, b)
+	case a.NextHop.IsValid():
+		return nil, fmt.Errorf("bgp: unsupported next hop %v", a.NextHop)
+	}
+	return attrs, nil
+}
+
+// ParsePathAttrs decodes a path-attribute block produced by
+// EncodePathAttrs (or extracted from an UPDATE).
+func ParsePathAttrs(buf []byte) (PathAttrs, error) {
+	var up Update
+	if err := parseAttrs(buf, &up); err != nil {
+		return PathAttrs{}, err
+	}
+	a := PathAttrs{Origin: up.Origin, ASPath: up.ASPath, NextHop: up.NextHop}
+	if up.MPReach != nil {
+		a.NextHop = up.MPReach.NextHop
+	}
+	return a, nil
+}

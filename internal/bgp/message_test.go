@@ -1,0 +1,304 @@
+package bgp
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"ripki/internal/netutil"
+)
+
+func TestOpenRoundTrip(t *testing.T) {
+	m := &Open{ASN: 196615, HoldTime: 90, ID: netutil.MustAddr("10.0.0.1")}
+	wire, err := Encode(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Errorf("consumed %d of %d", n, len(wire))
+	}
+	o, ok := got.(*Open)
+	if !ok {
+		t.Fatalf("got %T", got)
+	}
+	if o.ASN != 196615 || o.HoldTime != 90 || o.ID != netutil.MustAddr("10.0.0.1") {
+		t.Errorf("round trip mismatch: %+v", o)
+	}
+}
+
+func TestOpenSmallASN(t *testing.T) {
+	m := &Open{ASN: 3333, HoldTime: 180, ID: netutil.MustAddr("192.0.2.1")}
+	wire, _ := Encode(nil, m)
+	got, _, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*Open).ASN != 3333 {
+		t.Errorf("ASN = %d", got.(*Open).ASN)
+	}
+}
+
+func TestOpenRejectsNonIPv4ID(t *testing.T) {
+	if _, err := Encode(nil, &Open{ASN: 1, ID: netutil.MustAddr("2001:db8::1")}); err == nil {
+		t.Error("IPv6 router ID accepted")
+	}
+}
+
+func TestKeepaliveNotificationRoundTrip(t *testing.T) {
+	wire, _ := Encode(nil, &Keepalive{})
+	if _, _, err := Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+	wire, _ = Encode(nil, &Notification{Code: 6, Subcode: 2, Data: []byte("bye")})
+	got, _, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := got.(*Notification)
+	if n.Code != 6 || n.Subcode != 2 || string(n.Data) != "bye" {
+		t.Errorf("notification mismatch: %+v", n)
+	}
+}
+
+func testUpdate() *Update {
+	return &Update{
+		Withdrawn: []netip.Prefix{netutil.MustPrefix("198.51.100.0/24")},
+		Origin:    OriginIGP,
+		ASPath: []Segment{
+			{Type: SegmentSequence, ASNs: []uint32{64500, 3333, 196615}},
+		},
+		NextHop: netutil.MustAddr("10.0.0.2"),
+		NLRI: []netip.Prefix{
+			netutil.MustPrefix("193.0.6.0/24"),
+			netutil.MustPrefix("185.42.0.0/16"),
+			netutil.MustPrefix("8.0.0.0/8"),
+			netutil.MustPrefix("192.0.2.128/25"),
+		},
+		MPReach: &MPReach{
+			NextHop: netutil.MustAddr("2001:db8::1"),
+			NLRI: []netip.Prefix{
+				netutil.MustPrefix("2001:db8:1000::/36"),
+				netutil.MustPrefix("2a00::/12"),
+			},
+		},
+		MPUnreach: []netip.Prefix{netutil.MustPrefix("2001:db8:dead::/48")},
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	m := testUpdate()
+	wire, err := Encode(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := got.(*Update)
+	if !ok {
+		t.Fatalf("got %T", got)
+	}
+	if !reflect.DeepEqual(u.Withdrawn, m.Withdrawn) {
+		t.Errorf("Withdrawn: %v vs %v", u.Withdrawn, m.Withdrawn)
+	}
+	if !reflect.DeepEqual(u.ASPath, m.ASPath) {
+		t.Errorf("ASPath: %v vs %v", u.ASPath, m.ASPath)
+	}
+	if u.NextHop != m.NextHop {
+		t.Errorf("NextHop: %v vs %v", u.NextHop, m.NextHop)
+	}
+	if !reflect.DeepEqual(u.NLRI, m.NLRI) {
+		t.Errorf("NLRI: %v vs %v", u.NLRI, m.NLRI)
+	}
+	if u.MPReach == nil || u.MPReach.NextHop != m.MPReach.NextHop || !reflect.DeepEqual(u.MPReach.NLRI, m.MPReach.NLRI) {
+		t.Errorf("MPReach: %+v vs %+v", u.MPReach, m.MPReach)
+	}
+	if !reflect.DeepEqual(u.MPUnreach, m.MPUnreach) {
+		t.Errorf("MPUnreach: %v vs %v", u.MPUnreach, m.MPUnreach)
+	}
+}
+
+func TestUpdateWithASSet(t *testing.T) {
+	m := &Update{
+		Origin: OriginIncomplete,
+		ASPath: []Segment{
+			{Type: SegmentSequence, ASNs: []uint32{64500}},
+			{Type: SegmentSet, ASNs: []uint32{3333, 3334}},
+		},
+		NextHop: netutil.MustAddr("10.0.0.2"),
+		NLRI:    []netip.Prefix{netutil.MustPrefix("10.0.0.0/8")},
+	}
+	wire, err := Encode(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := got.(*Update)
+	if len(u.ASPath) != 2 || u.ASPath[1].Type != SegmentSet {
+		t.Errorf("AS_SET lost: %+v", u.ASPath)
+	}
+	if _, ok := OriginAS(u.ASPath); ok {
+		t.Error("OriginAS accepted an AS_SET-terminated path")
+	}
+}
+
+func TestOriginAS(t *testing.T) {
+	cases := []struct {
+		path []Segment
+		want uint32
+		ok   bool
+	}{
+		{nil, 0, false},
+		{[]Segment{{Type: SegmentSequence, ASNs: []uint32{1, 2, 3}}}, 3, true},
+		{[]Segment{{Type: SegmentSequence, ASNs: []uint32{1}}, {Type: SegmentSequence, ASNs: []uint32{9}}}, 9, true},
+		{[]Segment{{Type: SegmentSet, ASNs: []uint32{1, 2}}}, 0, false},
+		{[]Segment{{Type: SegmentSequence, ASNs: nil}}, 0, false},
+	}
+	for i, c := range cases {
+		got, ok := OriginAS(c.path)
+		if got != c.want || ok != c.ok {
+			t.Errorf("case %d: OriginAS = %d,%v want %d,%v", i, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	wire, _ := Encode(nil, testUpdate())
+	// Truncations.
+	for i := 0; i < len(wire); i += 3 {
+		if _, _, err := Decode(wire[:i]); err == nil {
+			t.Errorf("accepted truncation to %d bytes", i)
+		}
+	}
+	// Bad marker.
+	bad := append([]byte(nil), wire...)
+	bad[0] = 0
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("accepted bad marker")
+	}
+	// Bad type.
+	bad = append([]byte(nil), wire...)
+	bad[18] = 9
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("accepted unknown message type")
+	}
+	// Length below minimum.
+	bad = append([]byte(nil), wire...)
+	bad[16], bad[17] = 0, 5
+	if _, _, err := Decode(bad); err == nil {
+		t.Error("accepted undersized length")
+	}
+}
+
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	wire, _ := Encode(nil, testUpdate())
+	for i := 0; i < 5000; i++ {
+		mut := append([]byte(nil), wire...)
+		for j := 0; j < 1+rnd.Intn(6); j++ {
+			mut[rnd.Intn(len(mut))] ^= byte(1 << rnd.Intn(8))
+		}
+		Decode(mut) // must not panic
+	}
+}
+
+func TestEncodeRejectsBadUpdate(t *testing.T) {
+	// NLRI without IPv4 next hop.
+	if _, err := Encode(nil, &Update{NLRI: []netip.Prefix{netutil.MustPrefix("10.0.0.0/8")}}); err == nil {
+		t.Error("NLRI without next hop accepted")
+	}
+	// MPReach with IPv4 next hop.
+	if _, err := Encode(nil, &Update{MPReach: &MPReach{NextHop: netutil.MustAddr("10.0.0.1"), NLRI: []netip.Prefix{netutil.MustPrefix("2001:db8::/32")}}}); err == nil {
+		t.Error("MPReach with IPv4 next hop accepted")
+	}
+}
+
+func TestReadWriteMessageStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Open{ASN: 64500, HoldTime: 90, ID: netutil.MustAddr("10.0.0.1")},
+		&Keepalive{},
+		testUpdate(),
+		&Notification{Code: 6, Subcode: 4},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("ReadMessage[%d]: %v", i, err)
+		}
+		if got.Type() != msgs[i].Type() {
+			t.Errorf("message %d type = %d, want %d", i, got.Type(), msgs[i].Type())
+		}
+	}
+}
+
+// Property: random updates with random valid prefixes round trip.
+func TestUpdateRoundTripRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		up := &Update{Origin: uint8(rnd.Intn(3)), NextHop: netutil.MustAddr("10.9.9.9")}
+		n := 1 + rnd.Intn(10)
+		for j := 0; j < n; j++ {
+			var b [4]byte
+			rnd.Read(b[:])
+			bits := rnd.Intn(33)
+			up.NLRI = append(up.NLRI, netip.PrefixFrom(netip.AddrFrom4(b), bits).Masked())
+		}
+		pl := 1 + rnd.Intn(5)
+		seg := Segment{Type: SegmentSequence}
+		for j := 0; j < pl; j++ {
+			seg.ASNs = append(seg.ASNs, rnd.Uint32())
+		}
+		up.ASPath = []Segment{seg}
+		wire, err := Encode(nil, up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		u := got.(*Update)
+		if !reflect.DeepEqual(u.NLRI, up.NLRI) || !reflect.DeepEqual(u.ASPath, up.ASPath) {
+			t.Fatalf("iteration %d: round trip mismatch", i)
+		}
+	}
+}
+
+func BenchmarkUpdateEncode(b *testing.B) {
+	up := testUpdate()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Encode(buf[:0], up)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateDecode(b *testing.B) {
+	wire, _ := Encode(nil, testUpdate())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package bgp
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// RouteEvent is one announcement or withdrawal received by a collector,
+// flattened to the granularity the RIB consumes.
+type RouteEvent struct {
+	// Peer identifies the session that delivered the route.
+	PeerAS uint32
+	PeerID netip.Addr
+	// Prefix is the affected route.
+	Prefix netip.Prefix
+	// Withdraw is true for withdrawals; Path and NextHop are then empty.
+	Withdraw bool
+	// Path is the AS_PATH as received.
+	Path []Segment
+	// NextHop is the protocol next hop (IPv4 or IPv6).
+	NextHop netip.Addr
+}
+
+// Events flattens an Update from the given peer into RouteEvents.
+func Events(peerAS uint32, peerID netip.Addr, up *Update) []RouteEvent {
+	var out []RouteEvent
+	for _, p := range up.Withdrawn {
+		out = append(out, RouteEvent{PeerAS: peerAS, PeerID: peerID, Prefix: p, Withdraw: true})
+	}
+	for _, p := range up.MPUnreach {
+		out = append(out, RouteEvent{PeerAS: peerAS, PeerID: peerID, Prefix: p, Withdraw: true})
+	}
+	for _, p := range up.NLRI {
+		out = append(out, RouteEvent{PeerAS: peerAS, PeerID: peerID, Prefix: p, Path: up.ASPath, NextHop: up.NextHop})
+	}
+	if up.MPReach != nil {
+		for _, p := range up.MPReach.NLRI {
+			out = append(out, RouteEvent{PeerAS: peerAS, PeerID: peerID, Prefix: p, Path: up.ASPath, NextHop: up.MPReach.NextHop})
+		}
+	}
+	return out
+}
+
+// Collector is a passive BGP speaker in the style of a RIPE RIS route
+// server: it accepts sessions, completes the OPEN/KEEPALIVE handshake,
+// and forwards every received route to a handler.
+type Collector struct {
+	// ASN and ID identify the collector in OPEN messages.
+	ASN uint32
+	ID  netip.Addr
+	// HoldTime is advertised in OPEN (seconds); zero means 90.
+	HoldTime uint16
+	// Handle receives every route event. It must be safe for concurrent
+	// calls (one goroutine per session).
+	Handle func(RouteEvent)
+	// Logf, if non-nil, receives session diagnostics.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func (c *Collector) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Collector) holdTime() uint16 {
+	if c.HoldTime == 0 {
+		return 90
+	}
+	return c.HoldTime
+}
+
+// Serve accepts BGP sessions on ln until Close.
+func (c *Collector) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			c.wg.Wait()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			if err := c.serveConn(conn); err != nil {
+				c.logf("bgp: session %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close shuts the listener down and waits for sessions to drain.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	ln := c.ln
+	c.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+func (c *Collector) serveConn(conn net.Conn) error {
+	defer conn.Close()
+	// Passive handshake: expect OPEN, answer OPEN + KEEPALIVE, expect
+	// KEEPALIVE, then consume UPDATEs.
+	msg, err := ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("awaiting OPEN: %w", err)
+	}
+	peerOpen, ok := msg.(*Open)
+	if !ok {
+		return fmt.Errorf("expected OPEN, got %T", msg)
+	}
+	if err := WriteMessage(conn, &Open{ASN: c.ASN, HoldTime: c.holdTime(), ID: c.ID}); err != nil {
+		return fmt.Errorf("sending OPEN: %w", err)
+	}
+	if err := WriteMessage(conn, &Keepalive{}); err != nil {
+		return fmt.Errorf("sending KEEPALIVE: %w", err)
+	}
+	msg, err = ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("awaiting KEEPALIVE: %w", err)
+	}
+	if _, ok := msg.(*Keepalive); !ok {
+		return fmt.Errorf("expected KEEPALIVE, got %T", msg)
+	}
+	for {
+		msg, err := ReadMessage(conn)
+		if err != nil {
+			return nil // session torn down
+		}
+		switch m := msg.(type) {
+		case *Update:
+			if c.Handle != nil {
+				for _, ev := range Events(peerOpen.ASN, peerOpen.ID, m) {
+					c.Handle(ev)
+				}
+			}
+		case *Keepalive:
+			// Liveness only.
+		case *Notification:
+			return m
+		default:
+			return fmt.Errorf("unexpected %T mid-session", msg)
+		}
+	}
+}
+
+// Speaker is an active BGP session used to feed a collector: it dials,
+// handshakes, and then sends updates.
+type Speaker struct {
+	ASN uint32
+	ID  netip.Addr
+
+	conn net.Conn
+}
+
+// DialSpeaker establishes a session with a collector at addr.
+func DialSpeaker(addr string, asn uint32, id netip.Addr) (*Speaker, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: dialing %s: %w", addr, err)
+	}
+	s := &Speaker{ASN: asn, ID: id, conn: conn}
+	if err := s.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Speaker) handshake() error {
+	if err := WriteMessage(s.conn, &Open{ASN: s.ASN, HoldTime: 90, ID: s.ID}); err != nil {
+		return fmt.Errorf("bgp: sending OPEN: %w", err)
+	}
+	msg, err := ReadMessage(s.conn)
+	if err != nil {
+		return fmt.Errorf("bgp: awaiting OPEN: %w", err)
+	}
+	if _, ok := msg.(*Open); !ok {
+		return fmt.Errorf("bgp: expected OPEN, got %T", msg)
+	}
+	msg, err = ReadMessage(s.conn)
+	if err != nil {
+		return fmt.Errorf("bgp: awaiting KEEPALIVE: %w", err)
+	}
+	if _, ok := msg.(*Keepalive); !ok {
+		return fmt.Errorf("bgp: expected KEEPALIVE, got %T", msg)
+	}
+	return WriteMessage(s.conn, &Keepalive{})
+}
+
+// Send transmits one UPDATE.
+func (s *Speaker) Send(up *Update) error {
+	return WriteMessage(s.conn, up)
+}
+
+// Close terminates the session with a CEASE notification.
+func (s *Speaker) Close() error {
+	WriteMessage(s.conn, &Notification{Code: 6}) // best effort CEASE
+	return s.conn.Close()
+}

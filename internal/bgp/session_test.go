@@ -1,0 +1,130 @@
+package bgp
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"ripki/internal/netutil"
+)
+
+func TestCollectorSpeakerSession(t *testing.T) {
+	var mu sync.Mutex
+	var events []RouteEvent
+	done := make(chan struct{}, 16)
+	col := &Collector{
+		ASN: 12654, // RIPE RIS
+		ID:  netutil.MustAddr("193.0.4.28"),
+		Handle: func(ev RouteEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+			done <- struct{}{}
+		},
+		Logf: t.Logf,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go col.Serve(ln)
+	defer col.Close()
+
+	sp, err := DialSpeaker(ln.Addr().String(), 3333, netutil.MustAddr("193.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	up := &Update{
+		Origin:  OriginIGP,
+		ASPath:  []Segment{{Type: SegmentSequence, ASNs: []uint32{3333, 64500}}},
+		NextHop: netutil.MustAddr("193.0.0.1"),
+		NLRI:    []netip.Prefix{netutil.MustPrefix("193.0.6.0/24"), netutil.MustPrefix("193.0.10.0/23")},
+		MPReach: &MPReach{
+			NextHop: netutil.MustAddr("2001:db8::1"),
+			NLRI:    []netip.Prefix{netutil.MustPrefix("2001:67c:2e8::/48")},
+		},
+	}
+	if err := sp.Send(up); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout waiting for route events")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	for _, ev := range events {
+		if ev.PeerAS != 3333 {
+			t.Errorf("PeerAS = %d, want 3333", ev.PeerAS)
+		}
+		if ev.Withdraw {
+			t.Errorf("unexpected withdraw: %+v", ev)
+		}
+		if origin, ok := OriginAS(ev.Path); !ok || origin != 64500 {
+			t.Errorf("origin = %d,%v want 64500", origin, ok)
+		}
+	}
+}
+
+func TestCollectorWithdrawals(t *testing.T) {
+	events := make(chan RouteEvent, 16)
+	col := &Collector{
+		ASN:    12654,
+		ID:     netutil.MustAddr("193.0.4.28"),
+		Handle: func(ev RouteEvent) { events <- ev },
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go col.Serve(ln)
+	defer col.Close()
+
+	sp, err := DialSpeaker(ln.Addr().String(), 64501, netutil.MustAddr("10.1.1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if err := sp.Send(&Update{
+		Withdrawn: []netip.Prefix{netutil.MustPrefix("203.0.113.0/24")},
+		MPUnreach: []netip.Prefix{netutil.MustPrefix("2001:db8::/32")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case ev := <-events:
+			if !ev.Withdraw {
+				t.Errorf("expected withdraw, got %+v", ev)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestEventsFlattening(t *testing.T) {
+	up := &Update{
+		Withdrawn: []netip.Prefix{netutil.MustPrefix("1.0.0.0/8")},
+		ASPath:    []Segment{{Type: SegmentSequence, ASNs: []uint32{9}}},
+		NextHop:   netutil.MustAddr("10.0.0.1"),
+		NLRI:      []netip.Prefix{netutil.MustPrefix("2.0.0.0/8")},
+	}
+	evs := Events(7, netutil.MustAddr("10.0.0.9"), up)
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if !evs[0].Withdraw || evs[1].Withdraw {
+		t.Error("withdraw ordering wrong")
+	}
+}

@@ -1,0 +1,164 @@
+package dns
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// maxChase bounds CNAME chain length, defending against loops. Real
+// resolvers use similar limits.
+const maxChase = 16
+
+// Registry is an in-memory DNS database: the union of all zones the
+// synthetic world publishes. It acts as the backing store for
+// authoritative servers and supports in-process resolution through the
+// same CNAME-chasing logic the wire path uses.
+type Registry struct {
+	mu      sync.RWMutex
+	records map[string][]RR // canonical name → records
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{records: make(map[string][]RR)}
+}
+
+// Add inserts a record. The owner name is canonicalised.
+func (r *Registry) Add(rr RR) {
+	rr.Name = CanonicalName(rr.Name)
+	if rr.Type == TypeCNAME || rr.Type == TypeNS {
+		rr.Target = CanonicalName(rr.Target)
+	}
+	if rr.Class == 0 {
+		rr.Class = ClassINET
+	}
+	r.mu.Lock()
+	r.records[rr.Name] = append(r.records[rr.Name], rr)
+	r.mu.Unlock()
+}
+
+// AddCNAME is shorthand for a CNAME record.
+func (r *Registry) AddCNAME(name, target string, ttl uint32) {
+	r.Add(RR{Name: name, Type: TypeCNAME, TTL: ttl, Target: target})
+}
+
+// Lookup returns the records of the given type at exactly name
+// (no CNAME chasing).
+func (r *Registry) Lookup(name string, typ uint16) []RR {
+	name = CanonicalName(name)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []RR
+	for _, rr := range r.records[name] {
+		if rr.Type == typ {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// Exists reports whether any record exists at name.
+func (r *Registry) Exists(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.records[CanonicalName(name)]) > 0
+}
+
+// Len returns the number of owner names with records.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.records)
+}
+
+// Names returns all owner names in sorted order (for dumps).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.records))
+	for n := range r.records {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve answers a query the way a recursive resolver would: it chases
+// CNAMEs (appending each to the answer section, as real resolvers do)
+// and returns the terminal records of the requested type. rcode is
+// RCodeNameError when the name does not exist at all, RCodeSuccess
+// otherwise (possibly with an empty answer — NODATA).
+func (r *Registry) Resolve(name string, typ uint16) (answers []RR, rcode uint8) {
+	name = CanonicalName(name)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cur := name
+	for i := 0; i < maxChase; i++ {
+		rrs := r.records[cur]
+		if len(rrs) == 0 {
+			if cur == name && len(answers) == 0 {
+				return nil, RCodeNameError
+			}
+			// Dangling CNAME: the chain exists but the target does not.
+			return answers, RCodeSuccess
+		}
+		// Exact-type matches first.
+		matched := false
+		for _, rr := range rrs {
+			if rr.Type == typ {
+				answers = append(answers, rr)
+				matched = true
+			}
+		}
+		if matched || typ == TypeCNAME {
+			return answers, RCodeSuccess
+		}
+		// Chase a CNAME if present.
+		var cname *RR
+		for i := range rrs {
+			if rrs[i].Type == TypeCNAME {
+				cname = &rrs[i]
+				break
+			}
+		}
+		if cname == nil {
+			return answers, RCodeSuccess // NODATA
+		}
+		answers = append(answers, *cname)
+		cur = cname.Target
+	}
+	// Chain too long or looping: answer what was collected.
+	return answers, RCodeSuccess
+}
+
+// Handler answers DNS queries; both the in-process path and the UDP
+// server use it.
+type Handler interface {
+	// Query answers a single question.
+	Query(q Question) (answers []RR, rcode uint8)
+}
+
+// Query implements Handler directly on the registry.
+func (r *Registry) Query(q Question) ([]RR, uint8) {
+	if q.Class != ClassINET && q.Class != 0 {
+		return nil, RCodeRefused
+	}
+	switch q.Type {
+	case TypeA, TypeAAAA, TypeCNAME, TypeNS, TypeSOA, TypeTXT, TypeDNSKEY:
+		return r.Resolve(q.Name, q.Type)
+	default:
+		return nil, RCodeNotImplemented
+	}
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(q Question) ([]RR, uint8)
+
+// Query calls f.
+func (f HandlerFunc) Query(q Question) ([]RR, uint8) { return f(q) }
+
+// String summarises the registry.
+func (r *Registry) String() string {
+	return fmt.Sprintf("dns.Registry(%d names)", r.Len())
+}

@@ -1,0 +1,114 @@
+package dns
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Server is a UDP DNS server delegating answers to a Handler.
+type Server struct {
+	Handler Handler
+	// Logf, if non-nil, receives per-query diagnostics.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	conn   net.PacketConn
+	closed bool
+}
+
+// NewServer creates a server answering from h.
+func NewServer(h Handler) *Server {
+	return &Server{Handler: h}
+}
+
+// Serve answers queries arriving on conn until Close.
+func (s *Server) Serve(conn net.PacketConn) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("dns: server closed")
+	}
+	s.conn = conn
+	s.mu.Unlock()
+
+	buf := make([]byte, maxMessageLen)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		resp := s.handle(buf[:n])
+		if resp == nil {
+			continue
+		}
+		if _, err := conn.WriteTo(resp, addr); err != nil && s.Logf != nil {
+			s.Logf("dns: writing response to %v: %v", addr, err)
+		}
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// handle builds the response bytes for one request (nil to drop).
+func (s *Server) handle(req []byte) []byte {
+	var q Message
+	if err := q.Unpack(req); err != nil {
+		if s.Logf != nil {
+			s.Logf("dns: unparseable query: %v", err)
+		}
+		return nil
+	}
+	if q.Header.Response || len(q.Questions) != 1 {
+		return nil
+	}
+	resp := Message{
+		Header: Header{
+			ID:                 q.Header.ID,
+			Response:           true,
+			Opcode:             q.Header.Opcode,
+			RecursionDesired:   q.Header.RecursionDesired,
+			RecursionAvailable: true,
+		},
+		Questions: q.Questions,
+	}
+	if q.Header.Opcode != 0 {
+		resp.Header.RCode = RCodeNotImplemented
+	} else if s.Handler == nil {
+		resp.Header.RCode = RCodeServerFailure
+	} else {
+		answers, rcode := s.Handler.Query(q.Questions[0])
+		resp.Answers = answers
+		resp.Header.RCode = rcode
+	}
+	out, err := resp.Pack()
+	if err != nil {
+		if s.Logf != nil {
+			s.Logf("dns: packing response: %v", err)
+		}
+		// Fall back to a header-only SERVFAIL.
+		resp.Answers = nil
+		resp.Header.RCode = RCodeServerFailure
+		out, err = resp.Pack()
+		if err != nil {
+			return nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package dns
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+)
+
+// WriteZoneTSV dumps every A, AAAA, CNAME and DNSKEY record as
+// tab-separated "name TYPE value" lines, the format ripki-worldgen
+// emits and LoadZoneTSV reads back.
+func (r *Registry) WriteZoneTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range r.Names() {
+		for _, typ := range []uint16{TypeA, TypeAAAA, TypeCNAME, TypeDNSKEY} {
+			for _, rr := range r.Lookup(name, typ) {
+				var err error
+				switch typ {
+				case TypeCNAME:
+					_, err = fmt.Fprintf(bw, "%s\tCNAME\t%s\n", name, rr.Target)
+				case TypeA:
+					_, err = fmt.Fprintf(bw, "%s\tA\t%s\n", name, rr.Addr)
+				case TypeAAAA:
+					_, err = fmt.Fprintf(bw, "%s\tAAAA\t%s\n", name, rr.Addr)
+				case TypeDNSKEY:
+					_, err = fmt.Fprintf(bw, "%s\tDNSKEY\t%x\n", name, rr.DNSKEY.PublicKey)
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadZoneTSV reads the WriteZoneTSV format into a fresh registry.
+// Unknown record types and blank lines are skipped; malformed lines are
+// errors.
+func LoadZoneTSV(r io.Reader) (*Registry, error) {
+	reg := NewRegistry()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("dns: zone line %d: want 3 fields, got %d", line, len(parts))
+		}
+		name, typ, val := parts[0], parts[1], parts[2]
+		switch typ {
+		case "A", "AAAA":
+			addr, err := netip.ParseAddr(val)
+			if err != nil {
+				return nil, fmt.Errorf("dns: zone line %d: %w", line, err)
+			}
+			t := uint16(TypeA)
+			if typ == "AAAA" {
+				t = TypeAAAA
+			}
+			if (t == TypeA) != addr.Is4() {
+				return nil, fmt.Errorf("dns: zone line %d: %s record with %v", line, typ, addr)
+			}
+			reg.Add(RR{Name: name, Type: t, TTL: 300, Addr: addr})
+		case "CNAME":
+			reg.AddCNAME(name, val, 300)
+		case "DNSKEY":
+			key := make([]byte, len(val)/2)
+			if _, err := fmt.Sscanf(val, "%x", &key); err != nil {
+				return nil, fmt.Errorf("dns: zone line %d: bad DNSKEY hex: %w", line, err)
+			}
+			reg.Add(RR{Name: name, Type: TypeDNSKEY, TTL: 3600, DNSKEY: &DNSKEYData{Flags: 257, Protocol: 3, Algorithm: 8, PublicKey: key}})
+		default:
+			// Tolerate future record types in dumps.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}

@@ -1,0 +1,64 @@
+package dns
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ripki/internal/netutil"
+)
+
+func TestZoneTSVRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add(RR{Name: "example.com", Type: TypeA, TTL: 60, Addr: netutil.MustAddr("198.51.100.10")})
+	reg.Add(RR{Name: "example.com", Type: TypeAAAA, TTL: 60, Addr: netutil.MustAddr("2001:db8::1")})
+	reg.AddCNAME("www.example.com", "edge.cdn.wld", 300)
+	reg.Add(RR{Name: "edge.cdn.wld", Type: TypeA, TTL: 30, Addr: netutil.MustAddr("203.0.113.5")})
+	reg.Add(RR{Name: "signed.example", Type: TypeDNSKEY, TTL: 3600, DNSKEY: &DNSKEYData{Flags: 257, Protocol: 3, Algorithm: 8, PublicKey: []byte{1, 2, 3, 4}}})
+
+	var buf bytes.Buffer
+	if err := reg.WriteZoneTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadZoneTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != reg.Len() {
+		t.Fatalf("names: %d vs %d", got.Len(), reg.Len())
+	}
+	res, err := (RegistryResolver{Registry: got}).LookupWeb("www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CNAMECount() != 1 || len(res.Addrs) != 1 || res.Addrs[0] != netutil.MustAddr("203.0.113.5") {
+		t.Errorf("reloaded resolution: %+v", res)
+	}
+	signed, err := (RegistryResolver{Registry: got}).HasDNSKEY("signed.example")
+	if err != nil || !signed {
+		t.Errorf("DNSKEY lost in round trip: %v %v", signed, err)
+	}
+	if keys := got.Lookup("signed.example", TypeDNSKEY); len(keys) != 1 || !bytes.Equal(keys[0].DNSKEY.PublicKey, []byte{1, 2, 3, 4}) {
+		t.Errorf("DNSKEY payload mismatch: %+v", keys)
+	}
+}
+
+func TestLoadZoneTSVValidation(t *testing.T) {
+	bad := []string{
+		"a.com\tA",                  // missing value
+		"a.com\tA\tnotanip",         // bad address
+		"a.com\tA\t2001:db8::1",     // family mismatch
+		"a.com\tAAAA\t198.51.100.1", // family mismatch
+		"a.com\tDNSKEY\tzz",         // bad hex
+	}
+	for _, in := range bad {
+		if _, err := LoadZoneTSV(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadZoneTSV(%q) accepted bad input", in)
+		}
+	}
+	// Comments, blanks and unknown types are tolerated.
+	reg, err := LoadZoneTSV(strings.NewReader("# c\n\na.com\tMX\t10 mail\na.com\tA\t198.51.100.1\n"))
+	if err != nil || reg.Len() != 1 {
+		t.Errorf("tolerant parse failed: %v %d", err, reg.Len())
+	}
+}

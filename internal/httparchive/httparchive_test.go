@@ -1,0 +1,68 @@
+package httparchive
+
+import "testing"
+
+func newClassifier() *Classifier {
+	return New(map[string][]string{
+		"akamai":     {"edgesuite.wld", "edgekey.wld"},
+		"cloudflare": {"cloudflarecdn.wld"},
+	})
+}
+
+func TestMatchName(t *testing.T) {
+	c := newClassifier()
+	cases := []struct {
+		name string
+		cdn  string
+		ok   bool
+	}{
+		{"a495.g.edgesuite.wld", "akamai", true},
+		{"edgesuite.wld", "akamai", true},
+		{"www.example.com.edgekey.wld", "akamai", true},
+		{"x.cloudflarecdn.wld", "cloudflare", true},
+		{"EdgeSuite.WLD.", "akamai", true}, // canonicalisation
+		{"example.com", "", false},
+		{"edgesuite.wld.evil.com", "", false}, // suffix must anchor at the end
+		{"", "", false},
+	}
+	for _, tc := range cases {
+		cdn, ok := c.MatchName(tc.name)
+		if cdn != tc.cdn || ok != tc.ok {
+			t.Errorf("MatchName(%q) = %q,%v want %q,%v", tc.name, cdn, ok, tc.cdn, tc.ok)
+		}
+	}
+}
+
+func TestClassifyChain(t *testing.T) {
+	c := newClassifier()
+	if cdn, ok := c.ClassifyChain([]string{"foo.example.net", "e1.a.edgesuite.wld"}); !ok || cdn != "akamai" {
+		t.Errorf("ClassifyChain = %q,%v", cdn, ok)
+	}
+	if _, ok := c.ClassifyChain([]string{"foo.example.net"}); ok {
+		t.Error("non-CDN chain matched")
+	}
+	if _, ok := c.ClassifyChain(nil); ok {
+		t.Error("empty chain matched")
+	}
+}
+
+func TestRankGate(t *testing.T) {
+	c := newClassifier()
+	chain := []string{"e1.a.edgesuite.wld"}
+	if isCDN, covered := c.Classify(1, chain); !isCDN || !covered {
+		t.Error("rank 1 not classified")
+	}
+	if isCDN, covered := c.Classify(DefaultLimit, chain); !isCDN || !covered {
+		t.Error("rank at limit not classified")
+	}
+	if _, covered := c.Classify(DefaultLimit+1, chain); covered {
+		t.Error("rank beyond limit covered")
+	}
+	if _, covered := c.Classify(0, chain); covered {
+		t.Error("rank 0 covered")
+	}
+	c.Limit = 10
+	if !c.Covers(10) || c.Covers(11) {
+		t.Error("custom limit wrong")
+	}
+}

@@ -1,0 +1,313 @@
+package measure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/stats"
+)
+
+// Variant selects which name variant an analysis reads.
+type Variant int
+
+const (
+	// VariantWWW is the "www." name.
+	VariantWWW Variant = iota
+	// VariantApex is the name without "www" ("w/o www domain").
+	VariantApex
+)
+
+func (v Variant) String() string {
+	if v == VariantApex {
+		return "w/o www"
+	}
+	return "www"
+}
+
+func (r *DomainResult) variant(v Variant) *VariantData {
+	if v == VariantApex {
+		return &r.Apex
+	}
+	return &r.WWW
+}
+
+// Figure1 reproduces "Comparison of IP deployment for www and w/o www
+// domain names": the per-bin mean share of equal covering prefixes
+// between the two variants.
+func (ds *Dataset) Figure1() *stats.Figure {
+	b := stats.NewBinner(ds.BinWidth)
+	for i := range ds.Results {
+		r := &ds.Results[i]
+		if r.EqualPrefixShare >= 0 {
+			b.Add(r.Rank, r.EqualPrefixShare)
+		}
+	}
+	return &stats.Figure{
+		Title:  "Figure 1: equal prefixes between www and w/o www domains",
+		XLabel: fmt.Sprintf("alexa rank (%d domains grouped)", ds.BinWidth),
+		YLabel: "relative frequency",
+		Series: []stats.Series{b.Series("equal prefixes")},
+	}
+}
+
+// Figure2 reproduces "RPKI validation outcome for the 1 million Alexa
+// domains": per-bin relative frequency of valid, invalid and not found,
+// using per-domain state probabilities.
+func (ds *Dataset) Figure2(v Variant) *stats.Figure {
+	valid := stats.NewBinner(ds.BinWidth)
+	invalid := stats.NewBinner(ds.BinWidth)
+	notFound := stats.NewBinner(ds.BinWidth)
+	for i := range ds.Results {
+		r := &ds.Results[i]
+		vd := r.variant(v)
+		if !vd.Usable() || vd.Pairs == 0 {
+			continue
+		}
+		valid.Add(r.Rank, vd.StateProb(vrp.Valid))
+		invalid.Add(r.Rank, vd.StateProb(vrp.Invalid))
+		notFound.Add(r.Rank, vd.StateProb(vrp.NotFound))
+	}
+	return &stats.Figure{
+		Title:  fmt.Sprintf("Figure 2: RPKI validation outcome (%s domains)", v),
+		XLabel: fmt.Sprintf("alexa rank (%d domains grouped)", ds.BinWidth),
+		YLabel: "relative frequency",
+		Series: []stats.Series{
+			valid.Series("valid"),
+			invalid.Series("invalid"),
+			notFound.Series("not found"),
+		},
+	}
+}
+
+// Figure3 reproduces "Popularity of CDNs — comparison of CDN detection
+// heuristics": the indirection-count heuristic against the
+// HTTPArchive-style pattern matcher (which only covers its corpus).
+func (ds *Dataset) Figure3() *stats.Figure {
+	chain := stats.NewBinner(ds.BinWidth)
+	pattern := stats.NewBinner(ds.BinWidth)
+	for i := range ds.Results {
+		r := &ds.Results[i]
+		if r.WWW.Usable() || r.Apex.Usable() {
+			chain.Add(r.Rank, b2f(r.CDNByChain))
+		}
+		if r.PatternCovered {
+			pattern.Add(r.Rank, b2f(r.CDNByPattern))
+		}
+	}
+	return &stats.Figure{
+		Title:  "Figure 3: popularity of CDNs, two detection heuristics",
+		XLabel: fmt.Sprintf("alexa rank (%d domains grouped)", ds.BinWidth),
+		YLabel: "relative frequency",
+		Series: []stats.Series{
+			pattern.Series("httparchive"),
+			chain.Series("dns indirections"),
+		},
+	}
+}
+
+// Figure4 reproduces "RPKI deployment statistics on CDNs and for the
+// unconditioned Web": the RPKI-enabled share for all domains and for
+// the CDN-hosted subset.
+func (ds *Dataset) Figure4(v Variant) *stats.Figure {
+	all := stats.NewBinner(ds.BinWidth)
+	cdn := stats.NewBinner(ds.BinWidth)
+	for i := range ds.Results {
+		r := &ds.Results[i]
+		vd := r.variant(v)
+		if !vd.Usable() || vd.Pairs == 0 {
+			continue
+		}
+		p := vd.CoverageProb()
+		all.Add(r.Rank, p)
+		if r.CDNByChain {
+			cdn.Add(r.Rank, p)
+		}
+	}
+	return &stats.Figure{
+		Title:  fmt.Sprintf("Figure 4: RPKI-enabled websites, overall vs CDN-hosted (%s domains)", v),
+		XLabel: fmt.Sprintf("alexa rank (%d domains grouped)", ds.BinWidth),
+		YLabel: "relative frequency",
+		Series: []stats.Series{
+			all.Series("rpki-enabled"),
+			cdn.Series("rpki-enabled, hosted on cdns"),
+		},
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// coverageCell renders Table 1 cells: "n/a", "full (x/y)",
+// "partial (x/y)" or "none (0/y)".
+func coverageCell(v *VariantData) string {
+	if v.NXDomain {
+		return "n/a"
+	}
+	if !v.Usable() || v.TotalPrefixes == 0 {
+		return "-"
+	}
+	switch {
+	case v.CoveredPrefixes == v.TotalPrefixes:
+		return fmt.Sprintf("full (%d/%d)", v.CoveredPrefixes, v.TotalPrefixes)
+	case v.CoveredPrefixes > 0:
+		return fmt.Sprintf("partial (%d/%d)", v.CoveredPrefixes, v.TotalPrefixes)
+	default:
+		return fmt.Sprintf("none (0/%d)", v.TotalPrefixes)
+	}
+}
+
+// Table1 reproduces "Top 10 Alexa domains that have partial or full
+// RPKI coverage": the highest-ranked domains with at least one covered
+// prefix in either variant.
+func (ds *Dataset) Table1(n int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Table 1: top %d domains with RPKI coverage", n),
+		Columns: []string{"rank", "domain", "www", "w/o www"},
+	}
+	for i := range ds.Results {
+		r := &ds.Results[i]
+		if r.WWW.CoveredPrefixes == 0 && r.Apex.CoveredPrefixes == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Rank),
+			r.Name,
+			coverageCell(&r.WWW),
+			coverageCell(&r.Apex),
+		})
+		if len(t.Rows) == n {
+			break
+		}
+	}
+	return t
+}
+
+// ASRegistryEntry is one AS assignment row for keyword spotting. It
+// mirrors the registry dumps the paper scans ("we apply keyword
+// spotting on common AS assignment lists").
+type ASRegistryEntry struct {
+	ASN  uint32
+	Name string
+}
+
+// CDNStudyRow summarises one CDN's RPKI engagement (§4.2).
+type CDNStudyRow struct {
+	CDN        string
+	ASes       int
+	RPKIVRPs   int
+	RPKIASes   int
+	RPKIPrefix int
+}
+
+// CDNStudy reproduces the §4.2 analysis: keyword-spot each CDN's ASes
+// in the registry, then count its appearances in the validated ROA
+// payloads. The paper found 199 ASes across 16 CDNs with exactly four
+// RPKI entries, all Internap's, tied to three origin ASes.
+func CDNStudy(cdns []string, registry []ASRegistryEntry, vrps *vrp.Set) []CDNStudyRow {
+	all := vrps.All()
+	rows := make([]CDNStudyRow, 0, len(cdns))
+	for _, cdn := range cdns {
+		needle := strings.ToUpper(cdn)
+		row := CDNStudyRow{CDN: cdn}
+		asSet := make(map[uint32]bool)
+		for _, e := range registry {
+			if strings.Contains(strings.ToUpper(e.Name), needle) {
+				row.ASes++
+				asSet[e.ASN] = true
+			}
+		}
+		prefixSet := make(map[string]bool)
+		originSet := make(map[uint32]bool)
+		for _, v := range all {
+			if asSet[v.ASN] {
+				row.RPKIVRPs++
+				prefixSet[v.Prefix.String()] = true
+				originSet[v.ASN] = true
+			}
+		}
+		row.RPKIPrefix = len(prefixSet)
+		row.RPKIASes = len(originSet)
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].CDN < rows[j].CDN })
+	return rows
+}
+
+// CDNStudyTable renders the study as a table.
+func CDNStudyTable(rows []CDNStudyRow) *stats.Table {
+	t := &stats.Table{
+		Title:   "CDN RPKI engagement (keyword spotting over the AS registry)",
+		Columns: []string{"cdn", "ases", "rpki prefixes", "rpki origin ases"},
+	}
+	totalASes, totalPrefixes := 0, 0
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.CDN,
+			fmt.Sprintf("%d", r.ASes),
+			fmt.Sprintf("%d", r.RPKIPrefix),
+			fmt.Sprintf("%d", r.RPKIASes),
+		})
+		totalASes += r.ASes
+		totalPrefixes += r.RPKIPrefix
+	}
+	t.Rows = append(t.Rows, []string{"TOTAL", fmt.Sprintf("%d", totalASes), fmt.Sprintf("%d", totalPrefixes), ""})
+	return t
+}
+
+// FigureDNSSEC is the paper's future-work comparison: DNSSEC adoption
+// and RPKI coverage side by side across popularity ranks. Requires a
+// dataset produced with Config.DNSSEC.
+func (ds *Dataset) FigureDNSSEC(v Variant) *stats.Figure {
+	dnssec := stats.NewBinner(ds.BinWidth)
+	rpki := stats.NewBinner(ds.BinWidth)
+	both := stats.NewBinner(ds.BinWidth)
+	for i := range ds.Results {
+		r := &ds.Results[i]
+		vd := r.variant(v)
+		if !vd.Usable() || vd.Pairs == 0 {
+			continue
+		}
+		dnssec.Add(r.Rank, b2f(r.DNSSEC))
+		cov := vd.CoverageProb()
+		rpki.Add(r.Rank, cov)
+		if r.DNSSEC {
+			both.Add(r.Rank, cov)
+		} else {
+			both.Add(r.Rank, 0)
+		}
+	}
+	return &stats.Figure{
+		Title:  fmt.Sprintf("Extension: DNSSEC vs RPKI adoption (%s domains)", v),
+		XLabel: fmt.Sprintf("alexa rank (%d domains grouped)", ds.BinWidth),
+		YLabel: "relative frequency",
+		Series: []stats.Series{
+			dnssec.Series("dnssec signed"),
+			rpki.Series("rpki covered"),
+			both.Series("both"),
+		},
+	}
+}
+
+// Summary renders the headline counts (§4, first paragraph).
+func (ds *Dataset) Summary() *stats.Table {
+	t := ds.Totals
+	return &stats.Table{
+		Title:   "Dataset summary",
+		Columns: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"domains", fmt.Sprintf("%d", t.Domains)},
+			{"www addresses", fmt.Sprintf("%d", t.WWWAddrs)},
+			{"w/o www addresses", fmt.Sprintf("%d", t.ApexAddrs)},
+			{"www prefix-AS mappings", fmt.Sprintf("%d", t.WWWPairMappings)},
+			{"w/o www prefix-AS mappings", fmt.Sprintf("%d", t.ApexPairMappings)},
+			{"special-purpose answers excluded", fmt.Sprintf("%.4f%%", 100*t.ExcludedDNSFraction())},
+			{"addresses unreachable from vantage", fmt.Sprintf("%.4f%%", 100*t.UnreachableFraction())},
+		},
+	}
+}

@@ -1,0 +1,92 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"ripki/internal/dns"
+	"ripki/internal/webworld"
+)
+
+// TestDNSSECStudy checks the future-work extension: DNSSEC adoption is
+// measured per zone, sits near the configured base rate (with ccTLD
+// boosts), and is statistically independent of RPKI coverage — zone
+// signing and route origin authorisation are different operators'
+// decisions.
+func TestDNSSECStudy(t *testing.T) {
+	w, err := webworld.Generate(webworld.Config{Seed: 31, Domains: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Repo.Validate(w.MeasureTime())
+	ds, err := Run(w.List, Config{
+		Resolver: dns.RegistryResolver{Registry: w.Registry},
+		RIB:      w.RIB,
+		VRPs:     res.VRPs,
+		BinWidth: 3000,
+		DNSSEC:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed := 0
+	for i := range ds.Results {
+		if ds.Results[i].DNSSEC {
+			signed++
+		}
+	}
+	if signed != w.Stats.DomainsDNSSEC {
+		t.Errorf("measured %d signed zones, world created %d", signed, w.Stats.DomainsDNSSEC)
+	}
+	frac := float64(signed) / float64(len(ds.Results))
+	if frac < 0.01 || frac > 0.12 {
+		t.Errorf("DNSSEC adoption = %v, expected a few percent", frac)
+	}
+
+	// Independence: RPKI coverage among signed zones tracks coverage
+	// among unsigned zones.
+	var covSigned, nSigned, covUnsigned, nUnsigned float64
+	for i := range ds.Results {
+		r := &ds.Results[i]
+		if !r.Apex.Usable() || r.Apex.Pairs == 0 {
+			continue
+		}
+		c := r.Apex.CoverageProb()
+		if r.DNSSEC {
+			covSigned += c
+			nSigned++
+		} else {
+			covUnsigned += c
+			nUnsigned++
+		}
+	}
+	if nSigned == 0 || nUnsigned == 0 {
+		t.Fatal("degenerate split")
+	}
+	mS, mU := covSigned/nSigned, covUnsigned/nUnsigned
+	if math.Abs(mS-mU) > 0.03 {
+		t.Errorf("coverage by DNSSEC status: signed %v vs unsigned %v", mS, mU)
+	}
+
+	fig := ds.FigureDNSSEC(VariantApex)
+	if len(fig.Series) != 3 {
+		t.Fatalf("FigureDNSSEC series = %d", len(fig.Series))
+	}
+}
+
+func TestDNSSECRequiresCapableResolver(t *testing.T) {
+	w, err := webworld.Generate(webworld.Config{Seed: 31, Domains: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Repo.Validate(w.MeasureTime())
+	_, err = Run(w.List, Config{
+		Resolver: rotatingLookuper{w: w}, // does not implement DNSSECChecker
+		RIB:      w.RIB,
+		VRPs:     res.VRPs,
+		DNSSEC:   true,
+	})
+	if err == nil {
+		t.Error("DNSSEC with incapable resolver accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package measure
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTSV dumps the full per-domain dataset, one row per domain — the
+// data release the paper commits to ("All data will be made
+// available"). Columns cover both variants plus the derived
+// classifications, so external tooling can regenerate every figure.
+func (ds *Dataset) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cols := []string{
+		"rank", "domain",
+		"www_resolved", "www_addrs", "www_cnames", "www_pairs",
+		"www_valid", "www_invalid", "www_covered_prefixes", "www_total_prefixes",
+		"apex_resolved", "apex_addrs", "apex_cnames", "apex_pairs",
+		"apex_valid", "apex_invalid", "apex_covered_prefixes", "apex_total_prefixes",
+		"cdn_chain", "cdn_pattern", "equal_prefix_share", "dnssec",
+	}
+	if _, err := fmt.Fprintln(bw, strings.Join(cols, "\t")); err != nil {
+		return err
+	}
+	b2s := func(b bool) string {
+		if b {
+			return "1"
+		}
+		return "0"
+	}
+	for i := range ds.Results {
+		r := &ds.Results[i]
+		row := []string{
+			fmt.Sprintf("%d", r.Rank), r.Name,
+			b2s(r.WWW.Resolved), fmt.Sprintf("%d", r.WWW.Addrs), fmt.Sprintf("%d", r.WWW.CNAMEs), fmt.Sprintf("%d", r.WWW.Pairs),
+			fmt.Sprintf("%d", r.WWW.ValidPairs), fmt.Sprintf("%d", r.WWW.InvalidPairs), fmt.Sprintf("%d", r.WWW.CoveredPrefixes), fmt.Sprintf("%d", r.WWW.TotalPrefixes),
+			b2s(r.Apex.Resolved), fmt.Sprintf("%d", r.Apex.Addrs), fmt.Sprintf("%d", r.Apex.CNAMEs), fmt.Sprintf("%d", r.Apex.Pairs),
+			fmt.Sprintf("%d", r.Apex.ValidPairs), fmt.Sprintf("%d", r.Apex.InvalidPairs), fmt.Sprintf("%d", r.Apex.CoveredPrefixes), fmt.Sprintf("%d", r.Apex.TotalPrefixes),
+			b2s(r.CDNByChain), b2s(r.CDNByPattern), fmt.Sprintf("%.4f", r.EqualPrefixShare), b2s(r.DNSSEC),
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

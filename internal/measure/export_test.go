@@ -1,0 +1,43 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDatasetWriteTSV(t *testing.T) {
+	f := newTinyFixture(t)
+	ds, err := Run(f.list, f.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1+len(ds.Results) {
+		t.Fatalf("lines = %d, want %d", len(lines), 1+len(ds.Results))
+	}
+	header := strings.Split(lines[0], "\t")
+	for _, row := range lines[1:] {
+		if got := len(strings.Split(row, "\t")); got != len(header) {
+			t.Fatalf("row has %d fields, header has %d: %q", got, len(header), row)
+		}
+	}
+	// The secure domain's row must carry its valid pair.
+	found := false
+	for _, row := range lines[1:] {
+		if strings.HasPrefix(row, "1\tsecure.example\t") {
+			found = true
+			fields := strings.Split(row, "\t")
+			if fields[6] != "1" { // www_valid
+				t.Errorf("secure.example www_valid = %q", fields[6])
+			}
+		}
+	}
+	if !found {
+		t.Error("secure.example row missing")
+	}
+}

@@ -1,0 +1,105 @@
+package measure
+
+import (
+	"fmt"
+	"sort"
+
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/stats"
+)
+
+// ExposedRelation is a business relationship readable straight out of
+// the public RPKI: a prefix whose ROAs authorise ASes belonging to more
+// than one organisation. The paper's §5.2 argues this disclosure — e.g.
+// two CDNs backing each other up, or a DoS-mitigation standby — is a
+// real deterrent to deployment: "the RPKI represents a catalog which
+// ... documents information in advance".
+type ExposedRelation struct {
+	Prefix string
+	// Orgs are the distinct organisations whose ASes the prefix's ROAs
+	// authorise, sorted.
+	Orgs []string
+	// ASNs are the authorised origin ASes backing the inference.
+	ASNs []uint32
+}
+
+// ExposedRelations scans a VRP set for prefixes authorising ASes of
+// several organisations, using an AS registry to attribute ASNs to
+// organisations. ASNs absent from the registry (e.g. fat-fingered ROAs)
+// are ignored — they expose nothing attributable.
+func ExposedRelations(vrps *vrp.Set, registry []ASRegistryEntry, orgOf func(uint32) (string, bool)) []ExposedRelation {
+	owner := orgOf
+	if owner == nil {
+		byASN := make(map[uint32]string, len(registry))
+		for _, e := range registry {
+			byASN[e.ASN] = e.Name
+		}
+		owner = func(asn uint32) (string, bool) {
+			name, ok := byASN[asn]
+			return name, ok
+		}
+	}
+	type agg struct {
+		orgs map[string]bool
+		asns map[uint32]bool
+	}
+	byPrefix := make(map[string]*agg)
+	for _, v := range vrps.All() {
+		org, ok := owner(v.ASN)
+		if !ok {
+			continue
+		}
+		key := v.Prefix.String()
+		a := byPrefix[key]
+		if a == nil {
+			a = &agg{orgs: make(map[string]bool), asns: make(map[uint32]bool)}
+			byPrefix[key] = a
+		}
+		a.orgs[org] = true
+		a.asns[v.ASN] = true
+	}
+	var out []ExposedRelation
+	for prefix, a := range byPrefix {
+		if len(a.orgs) < 2 {
+			continue
+		}
+		rel := ExposedRelation{Prefix: prefix}
+		for org := range a.orgs {
+			rel.Orgs = append(rel.Orgs, org)
+		}
+		sort.Strings(rel.Orgs)
+		for asn := range a.asns {
+			rel.ASNs = append(rel.ASNs, asn)
+		}
+		sort.Slice(rel.ASNs, func(i, j int) bool { return rel.ASNs[i] < rel.ASNs[j] })
+		out = append(out, rel)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+// ExposureTable renders the relations for display.
+func ExposureTable(rels []ExposedRelation) *stats.Table {
+	t := &stats.Table{
+		Title:   "Business relations exposed by the RPKI (§5.2)",
+		Columns: []string{"prefix", "organisations", "authorised ASNs"},
+	}
+	for _, r := range rels {
+		orgs := ""
+		for i, o := range r.Orgs {
+			if i > 0 {
+				orgs += " + "
+			}
+			orgs += o
+		}
+		asns := ""
+		for i, a := range r.ASNs {
+			if i > 0 {
+				asns += ", "
+			}
+			asns += fmt.Sprintf("AS%d", a)
+		}
+		t.Rows = append(t.Rows, []string{r.Prefix, orgs, asns})
+	}
+	return t
+}

@@ -1,0 +1,330 @@
+// Package mrt reads and writes MRT TABLE_DUMP_V2 files (RFC 6396).
+//
+// The paper's methodology step (3) consumes "dumps of the active tables
+// of the RIPE RIS route servers", which are distributed in exactly this
+// format. The synthetic world writes its routing tables as MRT so the
+// measurement pipeline ingests the same bytes a real study would.
+//
+// Supported records: PEER_INDEX_TABLE (subtype 1), RIB_IPV4_UNICAST
+// (subtype 2) and RIB_IPV6_UNICAST (subtype 4). Peer entries always use
+// 4-octet AS numbers.
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"ripki/internal/bgp"
+	"ripki/internal/netutil"
+)
+
+// MRT type and subtype codes.
+const (
+	TypeTableDumpV2 = 13
+
+	SubtypePeerIndexTable = 1
+	SubtypeRIBIPv4Unicast = 2
+	SubtypeRIBIPv6Unicast = 4
+)
+
+// Peer describes one collector peer in the PEER_INDEX_TABLE.
+type Peer struct {
+	BGPID netip.Addr // IPv4 router ID
+	Addr  netip.Addr // peer address (IPv4 or IPv6)
+	ASN   uint32
+}
+
+// RIBEntry is one peer's path for a prefix.
+type RIBEntry struct {
+	PeerIndex  uint16
+	Originated time.Time
+	Attrs      bgp.PathAttrs
+}
+
+// RIBRecord is a full RIB record: all known paths for one prefix.
+type RIBRecord struct {
+	Sequence uint32
+	Prefix   netip.Prefix
+	Entries  []RIBEntry
+}
+
+// Writer emits a TABLE_DUMP_V2 stream: one PEER_INDEX_TABLE followed by
+// RIB records.
+type Writer struct {
+	w         *bufio.Writer
+	timestamp uint32
+	wrotePeer bool
+	seq       uint32
+}
+
+// NewWriter creates a writer stamping records with the given time.
+func NewWriter(w io.Writer, stamp time.Time) *Writer {
+	return &Writer{w: bufio.NewWriter(w), timestamp: uint32(stamp.Unix())}
+}
+
+func (w *Writer) header(subtype uint16, length int) {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], w.timestamp)
+	binary.BigEndian.PutUint16(hdr[4:], TypeTableDumpV2)
+	binary.BigEndian.PutUint16(hdr[6:], subtype)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(length))
+	w.w.Write(hdr[:])
+}
+
+// WritePeerIndexTable writes the peer table; it must come first.
+func (w *Writer) WritePeerIndexTable(collectorID netip.Addr, viewName string, peers []Peer) error {
+	if w.wrotePeer {
+		return errors.New("mrt: peer index table already written")
+	}
+	if !collectorID.Is4() {
+		return fmt.Errorf("mrt: collector ID %v is not IPv4", collectorID)
+	}
+	if len(peers) > 65535 {
+		return errors.New("mrt: too many peers")
+	}
+	var body []byte
+	id := collectorID.As4()
+	body = append(body, id[:]...)
+	if len(viewName) > 65535 {
+		return errors.New("mrt: view name too long")
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(viewName)))
+	body = append(body, viewName...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(peers)))
+	for _, p := range peers {
+		if !p.BGPID.Is4() {
+			return fmt.Errorf("mrt: peer BGP ID %v is not IPv4", p.BGPID)
+		}
+		// Peer type: bit 0 = IPv6 address, bit 1 = 4-octet AS (always).
+		ptype := byte(0x02)
+		if p.Addr.Is6() && !p.Addr.Is4() {
+			ptype |= 0x01
+		}
+		body = append(body, ptype)
+		bid := p.BGPID.As4()
+		body = append(body, bid[:]...)
+		body = append(body, p.Addr.AsSlice()...)
+		body = binary.BigEndian.AppendUint32(body, p.ASN)
+	}
+	w.header(SubtypePeerIndexTable, len(body))
+	if _, err := w.w.Write(body); err != nil {
+		return err
+	}
+	w.wrotePeer = true
+	return nil
+}
+
+// WriteRIB writes one RIB record; the sequence number is assigned
+// automatically.
+func (w *Writer) WriteRIB(prefix netip.Prefix, entries []RIBEntry) error {
+	if !w.wrotePeer {
+		return errors.New("mrt: peer index table must be written first")
+	}
+	cp, err := netutil.Canonical(prefix)
+	if err != nil {
+		return fmt.Errorf("mrt: %w", err)
+	}
+	subtype := uint16(SubtypeRIBIPv4Unicast)
+	if cp.Addr().Is6() {
+		subtype = SubtypeRIBIPv6Unicast
+	}
+	var body []byte
+	body = binary.BigEndian.AppendUint32(body, w.seq)
+	w.seq++
+	body = append(body, byte(cp.Bits()))
+	nbytes := (cp.Bits() + 7) / 8
+	raw := cp.Addr().AsSlice()
+	body = append(body, raw[:nbytes]...)
+	if len(entries) > 65535 {
+		return errors.New("mrt: too many RIB entries")
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(entries)))
+	for _, e := range entries {
+		body = binary.BigEndian.AppendUint16(body, e.PeerIndex)
+		body = binary.BigEndian.AppendUint32(body, uint32(e.Originated.Unix()))
+		attrs, err := bgp.EncodePathAttrs(e.Attrs)
+		if err != nil {
+			return fmt.Errorf("mrt: encoding attributes for %v: %w", cp, err)
+		}
+		if len(attrs) > 65535 {
+			return errors.New("mrt: attributes too long")
+		}
+		body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
+		body = append(body, attrs...)
+	}
+	w.header(subtype, len(body))
+	_, err = w.w.Write(body)
+	return err
+}
+
+// Flush writes buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Record is one parsed MRT record: either *PeerIndexTable or *RIBRecord.
+type Record interface{}
+
+// PeerIndexTable is the parsed peer table.
+type PeerIndexTable struct {
+	CollectorID netip.Addr
+	ViewName    string
+	Peers       []Peer
+}
+
+// Reader parses a TABLE_DUMP_V2 stream.
+type Reader struct {
+	r     *bufio.Reader
+	peers *PeerIndexTable
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// maxRecordLen guards against absurd length fields.
+const maxRecordLen = 1 << 24
+
+// Next returns the next record, or io.EOF at end of stream.
+func (r *Reader) Next() (Record, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("mrt: truncated header: %w", err)
+		}
+		return nil, err
+	}
+	typ := binary.BigEndian.Uint16(hdr[4:6])
+	subtype := binary.BigEndian.Uint16(hdr[6:8])
+	length := binary.BigEndian.Uint32(hdr[8:12])
+	if length > maxRecordLen {
+		return nil, fmt.Errorf("mrt: implausible record length %d", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, fmt.Errorf("mrt: truncated record body: %w", err)
+	}
+	if typ != TypeTableDumpV2 {
+		return nil, fmt.Errorf("mrt: unsupported MRT type %d", typ)
+	}
+	switch subtype {
+	case SubtypePeerIndexTable:
+		pit, err := parsePeerIndexTable(body)
+		if err != nil {
+			return nil, err
+		}
+		r.peers = pit
+		return pit, nil
+	case SubtypeRIBIPv4Unicast:
+		return parseRIB(body, false)
+	case SubtypeRIBIPv6Unicast:
+		return parseRIB(body, true)
+	default:
+		return nil, fmt.Errorf("mrt: unsupported TABLE_DUMP_V2 subtype %d", subtype)
+	}
+}
+
+// Peers returns the peer table seen so far (nil before it is read).
+func (r *Reader) Peers() *PeerIndexTable { return r.peers }
+
+func parsePeerIndexTable(body []byte) (*PeerIndexTable, error) {
+	if len(body) < 8 {
+		return nil, errors.New("mrt: peer index table too short")
+	}
+	var id [4]byte
+	copy(id[:], body[:4])
+	nameLen := int(binary.BigEndian.Uint16(body[4:6]))
+	if len(body) < 6+nameLen+2 {
+		return nil, errors.New("mrt: peer index table name overruns")
+	}
+	name := string(body[6 : 6+nameLen])
+	rest := body[6+nameLen:]
+	count := int(binary.BigEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	pit := &PeerIndexTable{CollectorID: netip.AddrFrom4(id), ViewName: name}
+	for i := 0; i < count; i++ {
+		if len(rest) < 1+4 {
+			return nil, errors.New("mrt: truncated peer entry")
+		}
+		ptype := rest[0]
+		if ptype&0x02 == 0 {
+			return nil, errors.New("mrt: 2-octet AS peer entries unsupported")
+		}
+		var bid [4]byte
+		copy(bid[:], rest[1:5])
+		rest = rest[5:]
+		alen := 4
+		if ptype&0x01 != 0 {
+			alen = 16
+		}
+		if len(rest) < alen+4 {
+			return nil, errors.New("mrt: truncated peer address")
+		}
+		addr, _ := netip.AddrFromSlice(rest[:alen])
+		asn := binary.BigEndian.Uint32(rest[alen : alen+4])
+		rest = rest[alen+4:]
+		pit.Peers = append(pit.Peers, Peer{BGPID: netip.AddrFrom4(bid), Addr: addr, ASN: asn})
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("mrt: trailing bytes after peer entries")
+	}
+	return pit, nil
+}
+
+func parseRIB(body []byte, v6 bool) (*RIBRecord, error) {
+	if len(body) < 5 {
+		return nil, errors.New("mrt: RIB record too short")
+	}
+	rec := &RIBRecord{Sequence: binary.BigEndian.Uint32(body[:4])}
+	bits := int(body[4])
+	famBytes, famBits := 4, 32
+	if v6 {
+		famBytes, famBits = 16, 128
+	}
+	if bits > famBits {
+		return nil, fmt.Errorf("mrt: prefix length %d out of range", bits)
+	}
+	nbytes := (bits + 7) / 8
+	if len(body) < 5+nbytes+2 {
+		return nil, errors.New("mrt: RIB prefix overruns")
+	}
+	raw := make([]byte, famBytes)
+	copy(raw, body[5:5+nbytes])
+	addr, _ := netip.AddrFromSlice(raw)
+	rec.Prefix = netip.PrefixFrom(addr, bits)
+	if rec.Prefix.Masked() != rec.Prefix {
+		return nil, fmt.Errorf("mrt: prefix %v has host bits set", rec.Prefix)
+	}
+	rest := body[5+nbytes:]
+	count := int(binary.BigEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 8 {
+			return nil, errors.New("mrt: truncated RIB entry")
+		}
+		e := RIBEntry{
+			PeerIndex:  binary.BigEndian.Uint16(rest[:2]),
+			Originated: time.Unix(int64(binary.BigEndian.Uint32(rest[2:6])), 0).UTC(),
+		}
+		alen := int(binary.BigEndian.Uint16(rest[6:8]))
+		rest = rest[8:]
+		if len(rest) < alen {
+			return nil, errors.New("mrt: RIB entry attributes overrun")
+		}
+		attrs, err := bgp.ParsePathAttrs(rest[:alen])
+		if err != nil {
+			return nil, fmt.Errorf("mrt: entry %d of %v: %w", i, rec.Prefix, err)
+		}
+		e.Attrs = attrs
+		rest = rest[alen:]
+		rec.Entries = append(rec.Entries, e)
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("mrt: trailing bytes after RIB entries")
+	}
+	return rec, nil
+}

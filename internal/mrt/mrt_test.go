@@ -1,0 +1,226 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"ripki/internal/bgp"
+	"ripki/internal/netutil"
+)
+
+var stamp = time.Date(2015, 7, 1, 8, 0, 0, 0, time.UTC)
+
+func peers() []Peer {
+	return []Peer{
+		{BGPID: netutil.MustAddr("193.0.4.1"), Addr: netutil.MustAddr("193.0.4.1"), ASN: 3333},
+		{BGPID: netutil.MustAddr("10.0.0.2"), Addr: netutil.MustAddr("2001:db8::2"), ASN: 196615},
+	}
+}
+
+func seq(asns ...uint32) []bgp.Segment {
+	return []bgp.Segment{{Type: bgp.SegmentSequence, ASNs: asns}}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, stamp)
+	if err := w.WritePeerIndexTable(netutil.MustAddr("193.0.4.28"), "rrc00", peers()); err != nil {
+		t.Fatal(err)
+	}
+	recs := []struct {
+		prefix  string
+		entries []RIBEntry
+	}{
+		{"193.0.6.0/24", []RIBEntry{
+			{PeerIndex: 0, Originated: stamp, Attrs: bgp.PathAttrs{Origin: bgp.OriginIGP, ASPath: seq(3333), NextHop: netutil.MustAddr("193.0.4.1")}},
+			{PeerIndex: 1, Originated: stamp.Add(-time.Hour), Attrs: bgp.PathAttrs{Origin: bgp.OriginIGP, ASPath: seq(196615, 3333), NextHop: netutil.MustAddr("193.0.4.9")}},
+		}},
+		{"2001:67c:2e8::/48", []RIBEntry{
+			{PeerIndex: 1, Originated: stamp, Attrs: bgp.PathAttrs{Origin: bgp.OriginIGP, ASPath: seq(196615, 680), NextHop: netutil.MustAddr("2001:db8::9")}},
+		}},
+		{"0.0.0.0/0", []RIBEntry{
+			{PeerIndex: 0, Originated: stamp, Attrs: bgp.PathAttrs{Origin: bgp.OriginIncomplete, ASPath: seq(3333, 1), NextHop: netutil.MustAddr("193.0.4.1")}},
+		}},
+	}
+	for _, r := range recs {
+		if err := w.WriteRIB(netutil.MustPrefix(r.prefix), r.entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pit, ok := rec.(*PeerIndexTable)
+	if !ok {
+		t.Fatalf("first record is %T", rec)
+	}
+	if pit.ViewName != "rrc00" || pit.CollectorID != netutil.MustAddr("193.0.4.28") {
+		t.Errorf("peer table header: %+v", pit)
+	}
+	if !reflect.DeepEqual(pit.Peers, peers()) {
+		t.Errorf("peers: %+v vs %+v", pit.Peers, peers())
+	}
+	if r.Peers() != pit {
+		t.Error("Peers() does not return the parsed table")
+	}
+	for i, want := range recs {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		rr, ok := rec.(*RIBRecord)
+		if !ok {
+			t.Fatalf("record %d is %T", i, rec)
+		}
+		if rr.Sequence != uint32(i) {
+			t.Errorf("record %d sequence = %d", i, rr.Sequence)
+		}
+		if rr.Prefix != netutil.MustPrefix(want.prefix) {
+			t.Errorf("record %d prefix = %v, want %s", i, rr.Prefix, want.prefix)
+		}
+		if len(rr.Entries) != len(want.entries) {
+			t.Fatalf("record %d entries = %d, want %d", i, len(rr.Entries), len(want.entries))
+		}
+		for j, e := range rr.Entries {
+			we := want.entries[j]
+			if e.PeerIndex != we.PeerIndex || !e.Originated.Equal(we.Originated) {
+				t.Errorf("record %d entry %d header mismatch: %+v vs %+v", i, j, e, we)
+			}
+			if e.Attrs.Origin != we.Attrs.Origin || !reflect.DeepEqual(e.Attrs.ASPath, we.Attrs.ASPath) || e.Attrs.NextHop != we.Attrs.NextHop {
+				t.Errorf("record %d entry %d attrs mismatch: %+v vs %+v", i, j, e.Attrs, we.Attrs)
+			}
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestWriterRequiresPeerTableFirst(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, stamp)
+	err := w.WriteRIB(netutil.MustPrefix("10.0.0.0/8"), nil)
+	if err == nil {
+		t.Error("WriteRIB before peer table accepted")
+	}
+	if err := w.WritePeerIndexTable(netutil.MustAddr("1.2.3.4"), "v", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePeerIndexTable(netutil.MustAddr("1.2.3.4"), "v", nil); err == nil {
+		t.Error("double peer table accepted")
+	}
+}
+
+func TestReaderRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, stamp)
+	w.WritePeerIndexTable(netutil.MustAddr("1.2.3.4"), "v", peers())
+	w.WriteRIB(netutil.MustPrefix("10.0.0.0/8"), []RIBEntry{
+		{PeerIndex: 0, Originated: stamp, Attrs: bgp.PathAttrs{ASPath: seq(1), NextHop: netutil.MustAddr("10.0.0.1")}},
+	})
+	w.Flush()
+	wire := buf.Bytes()
+
+	// Truncations must error, never panic.
+	for i := 0; i < len(wire); i += 5 {
+		r := NewReader(bytes.NewReader(wire[:i]))
+		for {
+			_, err := r.Next()
+			if err != nil {
+				break
+			}
+		}
+	}
+	// Random corruption must error or parse, never panic.
+	rnd := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		mut := append([]byte(nil), wire...)
+		mut[rnd.Intn(len(mut))] ^= byte(1 << rnd.Intn(8))
+		r := NewReader(bytes.NewReader(mut))
+		for {
+			_, err := r.Next()
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+func TestReaderRejectsWrongType(t *testing.T) {
+	raw := make([]byte, 12)
+	raw[5] = 12 // TABLE_DUMP (v1), unsupported
+	if _, err := NewReader(bytes.NewReader(raw)).Next(); err == nil {
+		t.Error("accepted unsupported MRT type")
+	}
+}
+
+func TestLargeTableRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(8))
+	var buf bytes.Buffer
+	w := NewWriter(&buf, stamp)
+	if err := w.WritePeerIndexTable(netutil.MustAddr("193.0.4.28"), "rrc00", peers()); err != nil {
+		t.Fatal(err)
+	}
+	n := 5000
+	want := make([]netip.Prefix, 0, n)
+	for i := 0; i < n; i++ {
+		var b [4]byte
+		rnd.Read(b[:])
+		bits := 8 + rnd.Intn(17)
+		p := netip.PrefixFrom(netip.AddrFrom4(b), bits).Masked()
+		want = append(want, p)
+		err := w.WriteRIB(p, []RIBEntry{{
+			PeerIndex:  uint16(i % 2),
+			Originated: stamp,
+			Attrs:      bgp.PathAttrs{ASPath: seq(uint32(i), uint32(i+1)), NextHop: netutil.MustAddr("10.0.0.1")},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	r := NewReader(&buf)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		rr := rec.(*RIBRecord)
+		if rr.Prefix != want[i] {
+			t.Fatalf("record %d prefix = %v, want %v", i, rr.Prefix, want[i])
+		}
+		if origin, ok := bgp.OriginAS(rr.Entries[0].Attrs.ASPath); !ok || origin != uint32(i+1) {
+			t.Fatalf("record %d origin = %d, %v", i, origin, ok)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func BenchmarkWriteRIB(b *testing.B) {
+	w := NewWriter(io.Discard, stamp)
+	w.WritePeerIndexTable(netutil.MustAddr("1.2.3.4"), "v", peers())
+	entry := []RIBEntry{{PeerIndex: 0, Originated: stamp, Attrs: bgp.PathAttrs{ASPath: seq(1, 2, 3), NextHop: netutil.MustAddr("10.0.0.1")}}}
+	p := netutil.MustPrefix("193.0.6.0/24")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteRIB(p, entry); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

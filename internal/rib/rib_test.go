@@ -1,0 +1,209 @@
+package rib
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ripki/internal/bgp"
+	"ripki/internal/mrt"
+	"ripki/internal/netutil"
+)
+
+var stamp = time.Date(2015, 7, 1, 8, 0, 0, 0, time.UTC)
+
+func seq(asns ...uint32) []bgp.Segment {
+	return []bgp.Segment{{Type: bgp.SegmentSequence, ASNs: asns}}
+}
+
+func newTable(t *testing.T) (*Table, uint16, uint16) {
+	t.Helper()
+	tb := New()
+	p0 := tb.AddPeer(mrt.Peer{BGPID: netutil.MustAddr("10.0.0.1"), Addr: netutil.MustAddr("10.0.0.1"), ASN: 3333})
+	p1 := tb.AddPeer(mrt.Peer{BGPID: netutil.MustAddr("10.0.0.2"), Addr: netutil.MustAddr("2001:db8::2"), ASN: 196615})
+	return tb, p0, p1
+}
+
+func TestInsertAndQueries(t *testing.T) {
+	tb, p0, p1 := newTable(t)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(tb.Insert(Route{Prefix: netutil.MustPrefix("193.0.0.0/16"), PeerIndex: p0, Path: seq(3333, 680), NextHop: netutil.MustAddr("10.0.0.1"), Originated: stamp}))
+	must(tb.Insert(Route{Prefix: netutil.MustPrefix("193.0.6.0/24"), PeerIndex: p0, Path: seq(3333, 680, 25152), NextHop: netutil.MustAddr("10.0.0.1"), Originated: stamp}))
+	must(tb.Insert(Route{Prefix: netutil.MustPrefix("193.0.6.0/24"), PeerIndex: p1, Path: seq(196615, 25152), NextHop: netutil.MustAddr("10.0.0.2"), Originated: stamp}))
+
+	if tb.Len() != 2 || tb.Routes() != 3 {
+		t.Fatalf("Len/Routes = %d/%d, want 2/3", tb.Len(), tb.Routes())
+	}
+	addr := netutil.MustAddr("193.0.6.139")
+	cov := tb.Covering(addr)
+	if len(cov) != 2 || cov[0].String() != "193.0.0.0/16" || cov[1].String() != "193.0.6.0/24" {
+		t.Fatalf("Covering = %v", cov)
+	}
+	if !tb.Reachable(addr) {
+		t.Error("Reachable = false")
+	}
+	if tb.Reachable(netutil.MustAddr("8.8.8.8")) {
+		t.Error("unrouted address reported reachable")
+	}
+	pairs := tb.OriginPairs(addr)
+	want := []PrefixOrigin{
+		{netutil.MustPrefix("193.0.0.0/16"), 680},
+		{netutil.MustPrefix("193.0.6.0/24"), 25152},
+	}
+	if len(pairs) != 2 || pairs[0] != want[0] || pairs[1] != want[1] {
+		t.Fatalf("OriginPairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestOriginPairsExcludesASSet(t *testing.T) {
+	tb, p0, p1 := newTable(t)
+	tb.Insert(Route{Prefix: netutil.MustPrefix("10.0.0.0/8"), PeerIndex: p0, Path: []bgp.Segment{
+		{Type: bgp.SegmentSequence, ASNs: []uint32{3333}},
+		{Type: bgp.SegmentSet, ASNs: []uint32{1, 2}},
+	}, NextHop: netutil.MustAddr("10.0.0.1")})
+	if got := tb.OriginPairs(netutil.MustAddr("10.1.2.3")); len(got) != 0 {
+		t.Fatalf("AS_SET route produced origin pairs: %v", got)
+	}
+	// But the prefix is still "reachable" (announced).
+	if !tb.Reachable(netutil.MustAddr("10.1.2.3")) {
+		t.Error("AS_SET route not counted as reachable")
+	}
+	// A second peer with a clean path yields exactly one pair.
+	tb.Insert(Route{Prefix: netutil.MustPrefix("10.0.0.0/8"), PeerIndex: p1, Path: seq(196615, 7), NextHop: netutil.MustAddr("10.0.0.2")})
+	got := tb.OriginPairs(netutil.MustAddr("10.1.2.3"))
+	if len(got) != 1 || got[0].Origin != 7 {
+		t.Fatalf("OriginPairs = %v", got)
+	}
+}
+
+func TestOriginPairsDeduplicates(t *testing.T) {
+	tb, p0, p1 := newTable(t)
+	// Two peers, same origin.
+	tb.Insert(Route{Prefix: netutil.MustPrefix("10.0.0.0/8"), PeerIndex: p0, Path: seq(3333, 7), NextHop: netutil.MustAddr("10.0.0.1")})
+	tb.Insert(Route{Prefix: netutil.MustPrefix("10.0.0.0/8"), PeerIndex: p1, Path: seq(196615, 9, 7), NextHop: netutil.MustAddr("10.0.0.2")})
+	got := tb.OriginPairs(netutil.MustAddr("10.0.0.1"))
+	if len(got) != 1 || got[0].Origin != 7 {
+		t.Fatalf("OriginPairs = %v, want single AS7 entry", got)
+	}
+}
+
+func TestMOASVisible(t *testing.T) {
+	tb, p0, p1 := newTable(t)
+	// Multi-origin AS conflict: two peers see different origins.
+	tb.Insert(Route{Prefix: netutil.MustPrefix("10.0.0.0/8"), PeerIndex: p0, Path: seq(3333, 7), NextHop: netutil.MustAddr("10.0.0.1")})
+	tb.Insert(Route{Prefix: netutil.MustPrefix("10.0.0.0/8"), PeerIndex: p1, Path: seq(196615, 8), NextHop: netutil.MustAddr("10.0.0.2")})
+	got := tb.OriginPairs(netutil.MustAddr("10.0.0.1"))
+	if len(got) != 2 {
+		t.Fatalf("MOAS OriginPairs = %v, want 2", got)
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	tb, p0, p1 := newTable(t)
+	pfx := netutil.MustPrefix("10.0.0.0/8")
+	tb.Insert(Route{Prefix: pfx, PeerIndex: p0, Path: seq(7), NextHop: netutil.MustAddr("10.0.0.1")})
+	tb.Insert(Route{Prefix: pfx, PeerIndex: p1, Path: seq(8), NextHop: netutil.MustAddr("10.0.0.2")})
+	if !tb.Withdraw(p0, pfx) {
+		t.Fatal("Withdraw returned false")
+	}
+	if tb.Withdraw(p0, pfx) {
+		t.Fatal("double Withdraw returned true")
+	}
+	if tb.Len() != 1 || tb.Routes() != 1 {
+		t.Fatalf("Len/Routes = %d/%d", tb.Len(), tb.Routes())
+	}
+	if !tb.Withdraw(p1, pfx) {
+		t.Fatal("second Withdraw failed")
+	}
+	if tb.Len() != 0 || tb.Reachable(netutil.MustAddr("10.0.0.1")) {
+		t.Error("prefix still present after full withdrawal")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tb, _, _ := newTable(t)
+	if err := tb.Insert(Route{Prefix: netip.Prefix{}, PeerIndex: 0}); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+	if err := tb.Insert(Route{Prefix: netutil.MustPrefix("10.0.0.0/8"), PeerIndex: 99}); err == nil {
+		t.Error("unknown peer accepted")
+	}
+}
+
+func TestApplyEvents(t *testing.T) {
+	tb := New()
+	ev := bgp.RouteEvent{
+		PeerAS: 3333, PeerID: netutil.MustAddr("10.0.0.1"),
+		Prefix: netutil.MustPrefix("193.0.0.0/16"),
+		Path:   seq(3333, 680), NextHop: netutil.MustAddr("10.0.0.1"),
+	}
+	if err := tb.Apply(ev); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 1 {
+		t.Fatal("route not applied")
+	}
+	// Withdraw via event.
+	if err := tb.Apply(bgp.RouteEvent{PeerAS: 3333, PeerID: netutil.MustAddr("10.0.0.1"), Prefix: netutil.MustPrefix("193.0.0.0/16"), Withdraw: true}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 0 {
+		t.Fatal("route not withdrawn")
+	}
+}
+
+func TestMRTRoundTrip(t *testing.T) {
+	tb, p0, p1 := newTable(t)
+	tb.Insert(Route{Prefix: netutil.MustPrefix("193.0.0.0/16"), PeerIndex: p0, Path: seq(3333, 680), NextHop: netutil.MustAddr("10.0.0.1"), Originated: stamp})
+	tb.Insert(Route{Prefix: netutil.MustPrefix("193.0.6.0/24"), PeerIndex: p1, Path: seq(196615, 25152), NextHop: netutil.MustAddr("10.0.0.2"), Originated: stamp})
+	tb.Insert(Route{Prefix: netutil.MustPrefix("2001:67c:2e8::/48"), PeerIndex: p1, Path: seq(196615, 680), NextHop: netutil.MustAddr("2001:db8::2"), Originated: stamp})
+
+	var buf bytes.Buffer
+	if err := tb.DumpMRT(&buf, netutil.MustAddr("193.0.4.28"), "rrc00", stamp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tb.Len() || got.Routes() != tb.Routes() {
+		t.Fatalf("reloaded Len/Routes = %d/%d, want %d/%d", got.Len(), got.Routes(), tb.Len(), tb.Routes())
+	}
+	pairs := got.OriginPairs(netutil.MustAddr("193.0.6.99"))
+	if len(pairs) != 2 || pairs[0].Origin != 680 || pairs[1].Origin != 25152 {
+		t.Fatalf("reloaded OriginPairs = %v", pairs)
+	}
+	pairs6 := got.OriginPairs(netutil.MustAddr("2001:67c:2e8::80"))
+	if len(pairs6) != 1 || pairs6[0].Origin != 680 {
+		t.Fatalf("reloaded v6 OriginPairs = %v", pairs6)
+	}
+}
+
+func TestWalkRoutesOrderAndStop(t *testing.T) {
+	tb, p0, p1 := newTable(t)
+	tb.Insert(Route{Prefix: netutil.MustPrefix("10.0.0.0/8"), PeerIndex: p1, Path: seq(1), NextHop: netutil.MustAddr("10.0.0.2")})
+	tb.Insert(Route{Prefix: netutil.MustPrefix("10.0.0.0/8"), PeerIndex: p0, Path: seq(2), NextHop: netutil.MustAddr("10.0.0.1")})
+	tb.Insert(Route{Prefix: netutil.MustPrefix("11.0.0.0/8"), PeerIndex: p0, Path: seq(3), NextHop: netutil.MustAddr("10.0.0.1")})
+	var seen []Route
+	tb.WalkRoutes(func(r Route) bool {
+		seen = append(seen, r)
+		return true
+	})
+	if len(seen) != 3 {
+		t.Fatalf("walked %d routes", len(seen))
+	}
+	if seen[0].PeerIndex != p0 || seen[1].PeerIndex != p1 {
+		t.Error("routes within a prefix not ordered by peer index")
+	}
+	n := 0
+	tb.WalkRoutes(func(Route) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}

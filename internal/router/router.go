@@ -1,0 +1,198 @@
+// Package router implements an RPKI-enabled BGP router's decision
+// process: prefix origin validation applied as route policy (RFC 6811 +
+// the RFC 7115 guidance of rejecting invalid routes).
+//
+// The paper's attacker model (§2.3) is a malicious BGP speaker
+// advertising a website's prefix to blackhole or intercept its traffic.
+// "Rejecting an invalid route announcement helps to suppress incorrectly
+// announced prefixes, thus preventing route hijacking of websites" —
+// this package is where that rejection happens in the reproduction.
+package router
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"ripki/internal/bgp"
+	"ripki/internal/rib"
+	"ripki/internal/rpki/vrp"
+)
+
+// Policy selects how origin validation influences route handling
+// (RFC 7115 discusses both).
+type Policy uint8
+
+const (
+	// PolicyAcceptAll ignores validation outcomes — the unprotected
+	// configuration most networks ran in 2015.
+	PolicyAcceptAll Policy = iota
+	// PolicyDropInvalid rejects invalid routes outright.
+	PolicyDropInvalid
+	// PolicyPreferValid accepts everything but deprefers invalid
+	// routes: an invalid more-specific still loses to a valid or
+	// not-found less-specific covering route. A softer rollout stance;
+	// the hijack ablation shows why it is weaker than dropping.
+	PolicyPreferValid
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyAcceptAll:
+		return "accept-all"
+	case PolicyDropInvalid:
+		return "drop-invalid"
+	case PolicyPreferValid:
+		return "prefer-valid"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Decision is the policy outcome for one route.
+type Decision struct {
+	// State is the origin-validation outcome.
+	State vrp.State
+	// Accepted is false when policy dropped the route.
+	Accepted bool
+	// Deprefered is true when PolicyPreferValid kept the route but
+	// marked it less attractive.
+	Deprefered bool
+}
+
+// VRPSource yields the current validated payload set; *vrp.Set itself
+// and the RTR client both satisfy it.
+type VRPSource interface {
+	Set() *vrp.Set
+}
+
+// StaticVRPs adapts a fixed set to VRPSource.
+type StaticVRPs struct{ VRPs *vrp.Set }
+
+// Set returns the fixed set.
+func (s StaticVRPs) Set() *vrp.Set { return s.VRPs }
+
+// Router is an origin-validating BGP route processor feeding a local
+// RIB.
+type Router struct {
+	// DropInvalid enables the protective policy. When false the router
+	// accepts everything (the common, unprotected configuration the
+	// paper laments). Kept for API compatibility; Policy supersedes it.
+	DropInvalid bool
+	// Policy selects the validation stance; the zero value defers to
+	// DropInvalid for backward compatibility.
+	Policy Policy
+
+	source VRPSource
+	table  *rib.Table
+
+	mu         sync.Mutex
+	decided    map[vrp.State]int
+	deprefered map[rib.PrefixOrigin]bool
+}
+
+// New creates a router fed by the given VRP source.
+func New(source VRPSource, dropInvalid bool) *Router {
+	policy := PolicyAcceptAll
+	if dropInvalid {
+		policy = PolicyDropInvalid
+	}
+	return NewWithPolicy(source, policy)
+}
+
+// NewWithPolicy creates a router with an explicit validation policy.
+func NewWithPolicy(source VRPSource, policy Policy) *Router {
+	return &Router{
+		DropInvalid: policy == PolicyDropInvalid,
+		Policy:      policy,
+		source:      source,
+		table:       rib.New(),
+		decided:     make(map[vrp.State]int),
+		deprefered:  make(map[rib.PrefixOrigin]bool),
+	}
+}
+
+// Table exposes the router's local RIB.
+func (r *Router) Table() *rib.Table { return r.table }
+
+// Process applies origin validation and policy to one route event and
+// updates the local RIB accordingly.
+func (r *Router) Process(ev bgp.RouteEvent) (Decision, error) {
+	if ev.Withdraw {
+		if err := r.table.Apply(ev); err != nil {
+			return Decision{}, err
+		}
+		return Decision{State: vrp.NotFound, Accepted: true}, nil
+	}
+	policy := r.Policy
+	if policy == PolicyAcceptAll && r.DropInvalid {
+		policy = PolicyDropInvalid
+	}
+	origin, ok := bgp.OriginAS(ev.Path)
+	state := vrp.NotFound
+	if ok {
+		state = r.source.Set().Validate(ev.Prefix, origin)
+	} else if policy != PolicyAcceptAll {
+		// AS_SET paths cannot be validated; deployed policy treats them
+		// as invalid (their use is deprecated for exactly this reason).
+		state = vrp.Invalid
+	}
+	r.mu.Lock()
+	r.decided[state]++
+	r.mu.Unlock()
+	if policy == PolicyDropInvalid && state == vrp.Invalid {
+		return Decision{State: state, Accepted: false}, nil
+	}
+	if err := r.table.Apply(ev); err != nil {
+		return Decision{State: state}, err
+	}
+	d := Decision{State: state, Accepted: true}
+	if policy == PolicyPreferValid && state == vrp.Invalid && ok {
+		d.Deprefered = true
+		r.mu.Lock()
+		r.deprefered[rib.PrefixOrigin{Prefix: ev.Prefix.Masked(), Origin: origin}] = true
+		r.mu.Unlock()
+	}
+	return d, nil
+}
+
+// Forward resolves where traffic to addr goes under the router's
+// policy: the preferred (prefix, origin) after depreferencing. ok is
+// false when the address is unrouted.
+func (r *Router) Forward(addr netip.Addr) (rib.PrefixOrigin, bool) {
+	pairs := r.table.OriginPairs(addr)
+	if len(pairs) == 0 {
+		return rib.PrefixOrigin{}, false
+	}
+	// Longest match wins among non-deprefered routes; deprefered ones
+	// are used only if nothing else covers the address.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(pairs) - 1; i >= 0; i-- {
+		if !r.deprefered[pairs[i]] {
+			return pairs[i], true
+		}
+	}
+	return pairs[len(pairs)-1], true
+}
+
+// Counts returns how many processed routes fell into each state.
+func (r *Router) Counts() map[vrp.State]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[vrp.State]int, len(r.decided))
+	for k, v := range r.decided {
+		out[k] = v
+	}
+	return out
+}
+
+// String summarises the router.
+func (r *Router) String() string {
+	policy := r.Policy
+	if policy == PolicyAcceptAll && r.DropInvalid {
+		policy = PolicyDropInvalid
+	}
+	return fmt.Sprintf("router(%s, %d prefixes)", policy, r.table.Len())
+}

@@ -1,0 +1,237 @@
+package repo
+
+import (
+	"encoding/asn1"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ripki/internal/rpki/cert"
+	"ripki/internal/rpki/roa"
+)
+
+// This file implements the on-disk publication-point layout, mirroring
+// how RPKI repositories are distributed (one directory per CA with its
+// certificate, manifest, CRL, ROAs, and child CA directories). Private
+// keys are never written — a loaded repository is a relying party's
+// view: it can be validated but cannot issue.
+
+type asnManifest struct {
+	Issuer     string
+	Number     int64
+	ThisUpdate time.Time `asn1:"utc"`
+	NextUpdate time.Time `asn1:"utc"`
+	Names      []string
+	Hashes     [][]byte
+	Signature  []byte
+}
+
+// Marshal encodes the manifest to DER.
+func (m *Manifest) Marshal() ([]byte, error) {
+	w := asnManifest{
+		Issuer:     m.Issuer,
+		Number:     m.Number,
+		ThisUpdate: m.ThisUpdate.UTC().Truncate(time.Second),
+		NextUpdate: m.NextUpdate.UTC().Truncate(time.Second),
+		Signature:  m.Signature,
+	}
+	names := make([]string, 0, len(m.Entries))
+	for n := range m.Entries {
+		names = append(names, n)
+	}
+	// Deterministic order, also used by the signature input.
+	sortStrings(names)
+	for _, n := range names {
+		h := m.Entries[n]
+		w.Names = append(w.Names, n)
+		w.Hashes = append(w.Hashes, append([]byte(nil), h[:]...))
+	}
+	return asn1.Marshal(w)
+}
+
+// ParseManifest decodes a DER manifest. The signature is not verified;
+// call Verify.
+func ParseManifest(der []byte) (*Manifest, error) {
+	var w asnManifest
+	rest, err := asn1.Unmarshal(der, &w)
+	if err != nil {
+		return nil, fmt.Errorf("repo: parsing manifest: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("repo: trailing bytes after manifest")
+	}
+	if len(w.Names) != len(w.Hashes) {
+		return nil, errors.New("repo: manifest name/hash count mismatch")
+	}
+	m := &Manifest{
+		Issuer:     w.Issuer,
+		Number:     w.Number,
+		ThisUpdate: w.ThisUpdate,
+		NextUpdate: w.NextUpdate,
+		Entries:    make(map[string][32]byte, len(w.Names)),
+		Signature:  w.Signature,
+	}
+	for i, n := range w.Names {
+		if len(w.Hashes[i]) != 32 {
+			return nil, fmt.Errorf("repo: manifest hash %d has %d bytes", i, len(w.Hashes[i]))
+		}
+		var h [32]byte
+		copy(h[:], w.Hashes[i])
+		m.Entries[n] = h
+	}
+	m.raw = manifestTBS(m.Issuer, m.Number, m.ThisUpdate, m.NextUpdate, m.Entries)
+	return m, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// WriteTo materialises the repository under dir: one "ta-<name>"
+// directory per trust anchor, each containing ta.cer and the anchor's
+// publication point (manifest.mft, ca.crl, roa-N.roa, and ca-N/
+// subdirectories for children, recursively).
+func (r *Repository) WriteTo(dir string) error {
+	for _, ta := range r.Anchors {
+		taDir := filepath.Join(dir, ta.Cert.Subject)
+		if err := writeCA(taDir, ta, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCA(dir string, ca *CA, isTA bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	certName := "ca.cer"
+	if isTA {
+		certName = "ta.cer"
+	}
+	der, err := ca.Cert.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, certName), der, 0o644); err != nil {
+		return err
+	}
+	if ca.Manifest != nil {
+		der, err := ca.Manifest.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "manifest.mft"), der, 0o644); err != nil {
+			return err
+		}
+	}
+	if ca.CRL != nil {
+		der, err := ca.CRL.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "ca.crl"), der, 0o644); err != nil {
+			return err
+		}
+	}
+	for i, ro := range ca.ROAs {
+		der, err := ro.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("roa-%d.roa", i)), der, 0o644); err != nil {
+			return err
+		}
+	}
+	for i, child := range ca.Children {
+		if err := writeCA(filepath.Join(dir, fmt.Sprintf("ca-%d", i)), child, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a repository written by WriteTo. The result has no private
+// keys: it can be validated (the relying-party operation) but not
+// extended.
+func Load(dir string) (*Repository, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("repo: reading %s: %w", dir, err)
+	}
+	r := &Repository{}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "ta-") {
+			continue
+		}
+		ca, err := loadCA(filepath.Join(dir, e.Name()), true)
+		if err != nil {
+			return nil, err
+		}
+		r.Anchors = append(r.Anchors, ca)
+	}
+	if len(r.Anchors) == 0 {
+		return nil, fmt.Errorf("repo: no trust anchors under %s", dir)
+	}
+	return r, nil
+}
+
+func loadCA(dir string, isTA bool) (*CA, error) {
+	certName := "ca.cer"
+	if isTA {
+		certName = "ta.cer"
+	}
+	der, err := os.ReadFile(filepath.Join(dir, certName))
+	if err != nil {
+		return nil, fmt.Errorf("repo: %w", err)
+	}
+	c, err := cert.Parse(der)
+	if err != nil {
+		return nil, fmt.Errorf("repo: %s: %w", dir, err)
+	}
+	ca := &CA{Cert: c}
+	if der, err := os.ReadFile(filepath.Join(dir, "manifest.mft")); err == nil {
+		m, err := ParseManifest(der)
+		if err != nil {
+			return nil, fmt.Errorf("repo: %s: %w", dir, err)
+		}
+		ca.Manifest = m
+	}
+	if der, err := os.ReadFile(filepath.Join(dir, "ca.crl")); err == nil {
+		crl, err := cert.ParseCRL(der)
+		if err != nil {
+			return nil, fmt.Errorf("repo: %s: %w", dir, err)
+		}
+		ca.CRL = crl
+	}
+	for i := 0; ; i++ {
+		der, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("roa-%d.roa", i)))
+		if err != nil {
+			break
+		}
+		ro, err := roa.Parse(der)
+		if err != nil {
+			return nil, fmt.Errorf("repo: %s/roa-%d: %w", dir, i, err)
+		}
+		ca.ROAs = append(ca.ROAs, ro)
+	}
+	for i := 0; ; i++ {
+		sub := filepath.Join(dir, fmt.Sprintf("ca-%d", i))
+		if st, err := os.Stat(sub); err != nil || !st.IsDir() {
+			break
+		}
+		child, err := loadCA(sub, false)
+		if err != nil {
+			return nil, err
+		}
+		ca.Children = append(ca.Children, child)
+	}
+	return ca, nil
+}

@@ -1,0 +1,183 @@
+package repo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ripki/internal/netutil"
+	"ripki/internal/rpki/cert"
+	"ripki/internal/rpki/roa"
+	"ripki/internal/rpki/vrp"
+)
+
+func buildDiskRepo(t *testing.T) *Repository {
+	t.Helper()
+	r := newRepo(t)
+	ripe := r.Anchor("ripe")
+	isp, err := r.NewCA(ripe, "isp", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("193.0.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 3333, Max: 3340}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddROA(isp, 3333, []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.6.0/24"), MaxLength: 24}}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := r.NewCA(isp, "customer", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("193.0.128.0/20")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddROA(sub, 3340, []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.128.0/20"), MaxLength: 24}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Revoke(isp, 999); err != nil { // non-empty CRL
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestManifestMarshalRoundTrip(t *testing.T) {
+	r := buildDiskRepo(t)
+	m := r.Anchor("ripe").Manifest
+	der, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseManifest(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Issuer != m.Issuer || got.Number != m.Number || len(got.Entries) != len(m.Entries) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+	// The reconstructed TBS must verify under the anchor's key.
+	if err := got.Verify(r.Anchor("ripe").Cert, cert.VerifyOptions{Now: at}); err != nil {
+		t.Fatalf("parsed manifest fails verify: %v", err)
+	}
+	// Tampering with a hash must break the signature.
+	for name := range got.Entries {
+		got.Entries[name] = [32]byte{1}
+		break
+	}
+	got.raw = manifestTBS(got.Issuer, got.Number, got.ThisUpdate, got.NextUpdate, got.Entries)
+	if err := got.Verify(r.Anchor("ripe").Cert, cert.VerifyOptions{Now: at}); err == nil {
+		t.Fatal("tampered manifest verified")
+	}
+}
+
+func TestParseManifestRejectsGarbage(t *testing.T) {
+	if _, err := ParseManifest([]byte{0x30, 0x01, 0x00}); err == nil {
+		t.Error("garbage accepted")
+	}
+	r := buildDiskRepo(t)
+	der, _ := r.Anchor("ripe").Manifest.Marshal()
+	if _, err := ParseManifest(der[:len(der)-2]); err == nil {
+		t.Error("truncated manifest accepted")
+	}
+	if _, err := ParseManifest(append(der, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestWriteToLoadValidate(t *testing.T) {
+	r := buildDiskRepo(t)
+	want := r.Validate(at)
+	if len(want.Problems) != 0 {
+		t.Fatalf("in-memory problems: %v", want.Problems)
+	}
+
+	dir := t.TempDir()
+	if err := r.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the layout.
+	for _, path := range []string{
+		"ta-ripe/ta.cer", "ta-ripe/manifest.mft",
+		"ta-ripe/ca-0/ca.cer", "ta-ripe/ca-0/roa-0.roa", "ta-ripe/ca-0/ca.crl",
+		"ta-ripe/ca-0/ca-0/ca.cer", "ta-ripe/ca-0/ca-0/roa-0.roa",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, path)); err != nil {
+			t.Errorf("missing %s: %v", path, err)
+		}
+	}
+
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := got.Validate(at)
+	if len(res.Problems) != 0 {
+		t.Fatalf("reloaded problems: %v", res.Problems)
+	}
+	if res.VRPs.Len() != want.VRPs.Len() {
+		t.Fatalf("VRPs after reload: %d vs %d", res.VRPs.Len(), want.VRPs.Len())
+	}
+	if st := res.VRPs.Validate(netutil.MustPrefix("193.0.6.0/24"), 3333); st != vrp.Valid {
+		t.Errorf("reloaded validation = %v", st)
+	}
+	if st := res.VRPs.Validate(netutil.MustPrefix("193.0.128.0/22"), 3340); st != vrp.Valid {
+		t.Errorf("reloaded child-CA validation = %v", st)
+	}
+}
+
+func TestLoadedRepoDetectsTampering(t *testing.T) {
+	r := buildDiskRepo(t)
+	dir := t.TempDir()
+	if err := r.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in a published ROA; the manifest hash must catch it.
+	roaPath := filepath.Join(dir, "ta-ripe", "ca-0", "roa-0.roa")
+	raw, err := os.ReadFile(roaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(roaPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		// Parse-level rejection is also acceptable.
+		return
+	}
+	res := got.Validate(at)
+	if len(res.Problems) == 0 {
+		t.Fatal("tampered publication point validated cleanly")
+	}
+	for _, v := range res.VRPs.All() {
+		if v.Prefix == netutil.MustPrefix("193.0.6.0/24") {
+			t.Fatal("VRP from tampered ROA accepted")
+		}
+	}
+}
+
+func TestLoadRejectsEmptyDir(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "nosuch")); err == nil {
+		t.Error("missing directory accepted")
+	}
+}
+
+func TestStaleLoadedManifest(t *testing.T) {
+	r := buildDiskRepo(t)
+	dir := t.TempDir()
+	if err := r.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := got.Validate(clock.Add(ttl + time.Hour))
+	if res.VRPs.Len() != 0 {
+		t.Error("stale reloaded repository produced VRPs")
+	}
+}

@@ -1,0 +1,410 @@
+// Package repo models RPKI repositories and the relying-party validator.
+//
+// The global RPKI is rooted at five trust anchors, one per RIR (APNIC,
+// AfriNIC, ARIN, LACNIC, RIPE — §3 step 4 of the paper). Each
+// certification authority publishes, at its publication point, a
+// manifest, a CRL, its child CA certificates, and its ROAs. A relying
+// party walks the tree from the trust anchors, discards anything that is
+// cryptographically incorrect (bad signature, expired, revoked, missing
+// from or mismatching the manifest, over-claiming resources), and emits
+// the surviving ROAs' payloads as VRPs.
+package repo
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"time"
+
+	"ripki/internal/rpki/cert"
+	"ripki/internal/rpki/roa"
+	"ripki/internal/rpki/vrp"
+)
+
+// Object is a named, hashed publication-point entry.
+type Object struct {
+	Name string
+	DER  []byte
+}
+
+// hash returns the SHA-256 digest of the object bytes.
+func (o Object) hash() [32]byte { return sha256.Sum256(o.DER) }
+
+// Manifest lists the objects a CA currently publishes, with hashes, so a
+// relying party can detect withheld or substituted objects.
+type Manifest struct {
+	Issuer     string
+	Number     int64
+	ThisUpdate time.Time
+	NextUpdate time.Time
+	Entries    map[string][32]byte
+	Signature  []byte
+	raw        []byte
+}
+
+func manifestTBS(issuer string, number int64, thisUpdate, nextUpdate time.Time, entries map[string][32]byte) []byte {
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf := make([]byte, 0, 64+len(entries)*48)
+	buf = append(buf, issuer...)
+	buf = append(buf, 0)
+	buf = appendInt64(buf, number)
+	buf = appendInt64(buf, thisUpdate.Unix())
+	buf = appendInt64(buf, nextUpdate.Unix())
+	for _, n := range names {
+		h := entries[n]
+		buf = append(buf, n...)
+		buf = append(buf, 0)
+		buf = append(buf, h[:]...)
+	}
+	return buf
+}
+
+func appendInt64(b []byte, v int64) []byte {
+	for i := 56; i >= 0; i -= 8 {
+		b = append(b, byte(v>>uint(i)))
+	}
+	return b
+}
+
+// Verify checks the manifest signature and freshness.
+func (m *Manifest) Verify(issuer *cert.Certificate, opts cert.VerifyOptions) error {
+	now := opts.Now
+	if now.IsZero() {
+		now = time.Now()
+	}
+	if now.After(m.NextUpdate) {
+		return fmt.Errorf("repo: manifest %q stale (nextUpdate %v)", m.Issuer, m.NextUpdate)
+	}
+	digest := sha256.Sum256(m.raw)
+	if !ecdsa.VerifyASN1(issuer.PublicKey, digest[:], m.Signature) {
+		return fmt.Errorf("repo: manifest signature from %q does not verify", m.Issuer)
+	}
+	return nil
+}
+
+// CA is a certification authority with its publication point. Fields are
+// exported for inspection; mutate only through the methods to keep the
+// manifest consistent (or deliberately, to inject faults in tests).
+type CA struct {
+	Cert *cert.Certificate
+	Key  *ecdsa.PrivateKey
+
+	Children []*CA
+	ROAs     []*roa.ROA
+	CRL      *cert.CRL
+	Manifest *Manifest
+
+	nextSerial int64
+}
+
+// Repository is the global RPKI: the five RIR trust anchors and every CA
+// beneath them.
+type Repository struct {
+	Anchors []*CA
+	// Clock is the time used when issuing objects; tests pin it.
+	Clock time.Time
+	// TTL is the validity window for issued objects.
+	TTL time.Duration
+}
+
+// RIRNames are the five regional Internet registries, i.e. the RPKI
+// trust anchors ("ROA data of all trust anchors (APNIC, AfriNIC, ARIN,
+// LACNIC, and RIPE) are collected and validated").
+var RIRNames = []string{"apnic", "afrinic", "arin", "lacnic", "ripe"}
+
+// New creates a repository with one self-signed trust anchor per name,
+// each claiming the whole number space (as the production RPKI TAs do).
+func New(names []string, clock time.Time, ttl time.Duration) (*Repository, error) {
+	r := &Repository{Clock: clock, TTL: ttl}
+	for _, name := range names {
+		key, err := cert.GenerateKey(nil)
+		if err != nil {
+			return nil, fmt.Errorf("repo: generating key for %s: %w", name, err)
+		}
+		c, err := cert.Issue(cert.Template{
+			SerialNumber: 1,
+			Subject:      "ta-" + name,
+			NotBefore:    clock,
+			NotAfter:     clock.Add(ttl),
+			IsCA:         true,
+			Resources:    cert.AllResources(),
+			PublicKey:    &key.PublicKey,
+		}, "ta-"+name, key)
+		if err != nil {
+			return nil, fmt.Errorf("repo: issuing TA %s: %w", name, err)
+		}
+		ca := &CA{Cert: c, Key: key, nextSerial: 2}
+		if err := ca.refreshManifest(clock, ttl); err != nil {
+			return nil, err
+		}
+		r.Anchors = append(r.Anchors, ca)
+	}
+	return r, nil
+}
+
+// Anchor returns the trust anchor whose subject is "ta-"+name.
+func (r *Repository) Anchor(name string) *CA {
+	for _, a := range r.Anchors {
+		if a.Cert.Subject == "ta-"+name {
+			return a
+		}
+	}
+	return nil
+}
+
+// NewCA issues a child CA under parent with the given resources.
+func (r *Repository) NewCA(parent *CA, subject string, res cert.Resources) (*CA, error) {
+	key, err := cert.GenerateKey(nil)
+	if err != nil {
+		return nil, fmt.Errorf("repo: generating key for %s: %w", subject, err)
+	}
+	parent.nextSerial++
+	c, err := cert.Issue(cert.Template{
+		SerialNumber: parent.nextSerial,
+		Subject:      subject,
+		NotBefore:    r.Clock,
+		NotAfter:     r.Clock.Add(r.TTL),
+		IsCA:         true,
+		Resources:    res,
+		PublicKey:    &key.PublicKey,
+	}, parent.Cert.Subject, parent.Key)
+	if err != nil {
+		return nil, fmt.Errorf("repo: issuing CA %s: %w", subject, err)
+	}
+	ca := &CA{Cert: c, Key: key, nextSerial: 1}
+	if err := ca.refreshManifest(r.Clock, r.TTL); err != nil {
+		return nil, err
+	}
+	parent.Children = append(parent.Children, ca)
+	if err := parent.refreshManifest(r.Clock, r.TTL); err != nil {
+		return nil, err
+	}
+	return ca, nil
+}
+
+// AddROA signs a ROA under ca authorising asID to originate prefixes.
+func (r *Repository) AddROA(ca *CA, asID uint32, prefixes []roa.Prefix) (*roa.ROA, error) {
+	ca.nextSerial++
+	ee, eeKey, err := roa.NewEE(ca.nextSerial, fmt.Sprintf("%s-roa-%d", ca.Cert.Subject, ca.nextSerial), prefixes, r.Clock, r.Clock.Add(r.TTL), ca.Cert, ca.Key)
+	if err != nil {
+		return nil, err
+	}
+	ro, err := roa.Sign(asID, prefixes, ee, eeKey)
+	if err != nil {
+		return nil, err
+	}
+	ca.ROAs = append(ca.ROAs, ro)
+	if err := ca.refreshManifest(r.Clock, r.TTL); err != nil {
+		return nil, err
+	}
+	return ro, nil
+}
+
+// Revoke adds serial to ca's CRL, removing the corresponding ROA's
+// authority without unpublishing it.
+func (r *Repository) Revoke(ca *CA, serial int64) error {
+	var serials []int64
+	if ca.CRL != nil {
+		serials = append(serials, ca.CRL.RevokedSerials...)
+	}
+	serials = append(serials, serial)
+	return ca.rebuildCRLAndManifest(r.Clock, r.TTL, serials)
+}
+
+func (ca *CA) rebuildCRLAndManifest(clock time.Time, ttl time.Duration, revoked []int64) error {
+	crl, err := cert.IssueCRL(ca.Cert.Subject, ca.Key, clock, clock.Add(ttl), revoked)
+	if err != nil {
+		return err
+	}
+	ca.CRL = crl
+	return ca.refreshManifest(clock, ttl)
+}
+
+// objects returns the CA's current publication-point content (children,
+// ROAs, CRL), excluding the manifest itself.
+func (ca *CA) objects() ([]Object, error) {
+	var objs []Object
+	for i, child := range ca.Children {
+		der, err := child.Cert.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, Object{Name: fmt.Sprintf("ca-%d.cer", i), DER: der})
+	}
+	for i, ro := range ca.ROAs {
+		der, err := ro.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, Object{Name: fmt.Sprintf("roa-%d.roa", i), DER: der})
+	}
+	if ca.CRL != nil {
+		der, err := ca.CRL.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, Object{Name: "ca.crl", DER: der})
+	}
+	return objs, nil
+}
+
+// refreshManifest re-signs the manifest over the current objects.
+func (ca *CA) refreshManifest(clock time.Time, ttl time.Duration) error {
+	objs, err := ca.objects()
+	if err != nil {
+		return err
+	}
+	entries := make(map[string][32]byte, len(objs))
+	for _, o := range objs {
+		entries[o.Name] = o.hash()
+	}
+	m := &Manifest{
+		Issuer:     ca.Cert.Subject,
+		Number:     time.Now().UnixNano(), // monotonic enough for tests
+		ThisUpdate: clock,
+		NextUpdate: clock.Add(ttl),
+		Entries:    entries,
+	}
+	m.raw = manifestTBS(m.Issuer, m.Number, m.ThisUpdate, m.NextUpdate, entries)
+	digest := sha256.Sum256(m.raw)
+	sig, err := signASN1(ca.Key, digest[:])
+	if err != nil {
+		return err
+	}
+	m.Signature = sig
+	ca.Manifest = m
+	return nil
+}
+
+// ValidationProblem records one discarded object during validation.
+type ValidationProblem struct {
+	CA     string
+	Object string
+	Err    error
+}
+
+func (p ValidationProblem) String() string {
+	return fmt.Sprintf("%s/%s: %v", p.CA, p.Object, p.Err)
+}
+
+// ValidationResult is the relying party's output: the VRP set plus an
+// audit trail of everything discarded.
+type ValidationResult struct {
+	VRPs     *vrp.Set
+	Problems []ValidationProblem
+	// ROAsSeen and ROAsValid count processed vs accepted ROAs.
+	ROAsSeen  int
+	ROAsValid int
+}
+
+// Validate walks the repository from its trust anchors and returns the
+// validated ROA payloads. Invalid objects are recorded and skipped, not
+// fatal — mirroring deployed relying-party behaviour.
+func (r *Repository) Validate(at time.Time) *ValidationResult {
+	res := &ValidationResult{VRPs: vrp.NewSet()}
+	opts := cert.VerifyOptions{Now: at}
+	for _, ta := range r.Anchors {
+		if err := ta.Cert.Verify(ta.Cert, opts); err != nil {
+			res.Problems = append(res.Problems, ValidationProblem{CA: ta.Cert.Subject, Object: "ta.cer", Err: err})
+			continue
+		}
+		r.validateCA(ta, opts, res)
+	}
+	return res
+}
+
+func (r *Repository) validateCA(ca *CA, opts cert.VerifyOptions, res *ValidationResult) {
+	// Manifest gate: a missing or invalid manifest voids the whole
+	// publication point.
+	if ca.Manifest == nil {
+		res.Problems = append(res.Problems, ValidationProblem{CA: ca.Cert.Subject, Object: "manifest", Err: fmt.Errorf("repo: missing manifest")})
+		return
+	}
+	if err := ca.Manifest.Verify(ca.Cert, opts); err != nil {
+		res.Problems = append(res.Problems, ValidationProblem{CA: ca.Cert.Subject, Object: "manifest", Err: err})
+		return
+	}
+	objs, err := ca.objects()
+	if err != nil {
+		res.Problems = append(res.Problems, ValidationProblem{CA: ca.Cert.Subject, Object: "publication point", Err: err})
+		return
+	}
+	listed := make(map[string]bool, len(ca.Manifest.Entries))
+	for name := range ca.Manifest.Entries {
+		listed[name] = true
+	}
+	bad := make(map[string]bool)
+	for _, o := range objs {
+		want, ok := ca.Manifest.Entries[o.Name]
+		if !ok {
+			res.Problems = append(res.Problems, ValidationProblem{CA: ca.Cert.Subject, Object: o.Name, Err: fmt.Errorf("repo: object not in manifest")})
+			bad[o.Name] = true
+			continue
+		}
+		delete(listed, o.Name)
+		if o.hash() != want {
+			res.Problems = append(res.Problems, ValidationProblem{CA: ca.Cert.Subject, Object: o.Name, Err: fmt.Errorf("repo: manifest hash mismatch")})
+			bad[o.Name] = true
+			continue
+		}
+	}
+	for name := range listed {
+		res.Problems = append(res.Problems, ValidationProblem{CA: ca.Cert.Subject, Object: name, Err: fmt.Errorf("repo: manifest lists missing object")})
+	}
+
+	// CRL, if present, must verify; a broken CRL voids revocation data
+	// but we continue treating all serials as unrevoked? No: safer to
+	// void the publication point, as rpki-client does.
+	crl := ca.CRL
+	if crl != nil {
+		if err := crl.Verify(ca.Cert, opts); err != nil {
+			res.Problems = append(res.Problems, ValidationProblem{CA: ca.Cert.Subject, Object: "ca.crl", Err: err})
+			return
+		}
+	}
+
+	for i, ro := range ca.ROAs {
+		res.ROAsSeen++
+		name := fmt.Sprintf("roa-%d.roa", i)
+		if bad[name] {
+			continue // already reported above
+		}
+		if err := ro.Validate(ca.Cert, crl, opts); err != nil {
+			res.Problems = append(res.Problems, ValidationProblem{CA: ca.Cert.Subject, Object: name, Err: err})
+			continue
+		}
+		res.ROAsValid++
+		for _, p := range ro.Prefixes {
+			if err := res.VRPs.Add(vrp.VRP{Prefix: p.Prefix, MaxLength: p.MaxLength, ASN: ro.ASID}); err != nil {
+				res.Problems = append(res.Problems, ValidationProblem{CA: ca.Cert.Subject, Object: name, Err: err})
+			}
+		}
+	}
+
+	for i, child := range ca.Children {
+		name := fmt.Sprintf("ca-%d.cer", i)
+		if bad[name] {
+			continue
+		}
+		if err := child.Cert.Verify(ca.Cert, opts); err != nil {
+			res.Problems = append(res.Problems, ValidationProblem{CA: ca.Cert.Subject, Object: name, Err: err})
+			continue
+		}
+		if crl != nil && crl.Revoked(child.Cert.SerialNumber) {
+			res.Problems = append(res.Problems, ValidationProblem{CA: ca.Cert.Subject, Object: name, Err: fmt.Errorf("repo: child CA revoked")})
+			continue
+		}
+		r.validateCA(child, opts, res)
+	}
+}
+
+// signASN1 isolates the ecdsa dependency for the manifest signer.
+func signASN1(key *ecdsa.PrivateKey, digest []byte) ([]byte, error) {
+	return ecdsa.SignASN1(rand.Reader, key, digest)
+}

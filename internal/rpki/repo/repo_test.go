@@ -1,0 +1,290 @@
+package repo
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ripki/internal/netutil"
+	"ripki/internal/rpki/cert"
+	"ripki/internal/rpki/roa"
+	"ripki/internal/rpki/vrp"
+)
+
+type pfx = netip.Prefix
+
+var (
+	clock = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	ttl   = 365 * 24 * time.Hour
+	at    = clock.Add(30 * 24 * time.Hour)
+)
+
+func newRepo(t *testing.T) *Repository {
+	t.Helper()
+	r, err := New([]string{"ripe", "arin"}, clock, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewHasAnchors(t *testing.T) {
+	r, err := New(RIRNames, clock, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Anchors) != 5 {
+		t.Fatalf("anchors = %d, want 5", len(r.Anchors))
+	}
+	if r.Anchor("ripe") == nil || r.Anchor("arin") == nil {
+		t.Error("Anchor lookup failed")
+	}
+	if r.Anchor("nosuch") != nil {
+		t.Error("Anchor('nosuch') != nil")
+	}
+}
+
+func TestValidateCleanRepo(t *testing.T) {
+	r := newRepo(t)
+	ripe := r.Anchor("ripe")
+	isp, err := r.NewCA(ripe, "isp-1", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("193.0.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 3333, Max: 3333}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddROA(isp, 3333, []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.6.0/24"), MaxLength: 24}}); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Validate(at)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems: %v", res.Problems)
+	}
+	if res.ROAsSeen != 1 || res.ROAsValid != 1 {
+		t.Fatalf("ROAs seen/valid = %d/%d", res.ROAsSeen, res.ROAsValid)
+	}
+	if res.VRPs.Len() != 1 {
+		t.Fatalf("VRPs = %d, want 1", res.VRPs.Len())
+	}
+	if got := res.VRPs.Validate(netutil.MustPrefix("193.0.6.0/24"), 3333); got != vrp.Valid {
+		t.Errorf("origin validation = %v, want valid", got)
+	}
+}
+
+func TestValidateMultiLevelHierarchy(t *testing.T) {
+	r := newRepo(t)
+	ripe := r.Anchor("ripe")
+	nir, err := r.NewCA(ripe, "nir", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("80.0.0.0/8")},
+		ASNs:     []cert.ASRange{{Min: 1000, Max: 1999}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lir, err := r.NewCA(nir, "lir", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("80.1.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 1500, Max: 1500}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddROA(lir, 1500, []roa.Prefix{{Prefix: netutil.MustPrefix("80.1.2.0/24"), MaxLength: 25}}); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Validate(at)
+	if len(res.Problems) != 0 {
+		t.Fatalf("problems: %v", res.Problems)
+	}
+	if res.VRPs.Len() != 1 {
+		t.Fatalf("VRPs = %d, want 1", res.VRPs.Len())
+	}
+	if got := res.VRPs.Validate(netutil.MustPrefix("80.1.2.0/25"), 1500); got != vrp.Valid {
+		t.Errorf("deep-chain VRP not usable: %v", got)
+	}
+}
+
+func TestValidateDiscardsOverclaimingCA(t *testing.T) {
+	r := newRepo(t)
+	ripe := r.Anchor("ripe")
+	isp, err := r.NewCA(ripe, "isp", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("193.0.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 3333, Max: 3333}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge: replace the child CA's certificate with one that claims more
+	// than RIPE delegated, signed by RIPE's real key (a malicious or
+	// buggy parent could do this; resource check must still reject it at
+	// verification because SubsetOf fails).
+	key, _ := cert.GenerateKey(nil)
+	big, err := cert.Issue(cert.Template{
+		SerialNumber: 99, Subject: "isp", NotBefore: clock, NotAfter: clock.Add(ttl),
+		IsCA:      true,
+		Resources: cert.Resources{Prefixes: []pfx{netutil.MustPrefix("0.0.0.0/1")}},
+		PublicKey: &key.PublicKey,
+	}, ripe.Cert.Subject, ripe.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over-claiming relative to nothing: RIPE holds 0/0 so /1 is a
+	// subset; instead test a child of isp over-claiming beyond isp.
+	_ = big
+	sub, err := r.NewCA(isp, "sub", cert.Resources{Prefixes: []pfx{netutil.MustPrefix("193.0.0.0/24")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forgedKey, _ := cert.GenerateKey(nil)
+	forged, err := cert.Issue(cert.Template{
+		SerialNumber: 100, Subject: "sub", NotBefore: clock, NotAfter: clock.Add(ttl),
+		IsCA:      true,
+		Resources: cert.Resources{Prefixes: []pfx{netutil.MustPrefix("200.0.0.0/8")}},
+		PublicKey: &forgedKey.PublicKey,
+	}, isp.Cert.Subject, isp.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Cert = forged
+	sub.Key = forgedKey
+	if err := isp.refreshManifest(r.Clock, r.TTL); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Validate(at)
+	if len(res.Problems) == 0 {
+		t.Fatal("over-claiming child CA not reported")
+	}
+}
+
+func TestValidateDiscardsTamperedROA(t *testing.T) {
+	r := newRepo(t)
+	ripe := r.Anchor("ripe")
+	isp, _ := r.NewCA(ripe, "isp", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("193.0.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 3333, Max: 3333}},
+	})
+	ro, err := r.AddROA(isp, 3333, []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.6.0/24"), MaxLength: 24}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the signed content after publication.
+	ro.Signature[0] ^= 0xff
+	if err := isp.refreshManifest(r.Clock, r.TTL); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Validate(at)
+	if res.VRPs.Len() != 0 {
+		t.Fatalf("tampered ROA produced VRPs: %v", res.VRPs.All())
+	}
+	if res.ROAsValid != 0 || res.ROAsSeen != 1 {
+		t.Fatalf("seen/valid = %d/%d", res.ROAsSeen, res.ROAsValid)
+	}
+	if len(res.Problems) == 0 {
+		t.Fatal("no problem recorded for tampered ROA")
+	}
+}
+
+func TestValidateManifestHashMismatch(t *testing.T) {
+	r := newRepo(t)
+	ripe := r.Anchor("ripe")
+	isp, _ := r.NewCA(ripe, "isp", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("193.0.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 3333, Max: 3333}},
+	})
+	if _, err := r.AddROA(isp, 3333, []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.6.0/24"), MaxLength: 24}}); err != nil {
+		t.Fatal(err)
+	}
+	// Substitute the ROA without refreshing the manifest: hash mismatch.
+	ro2ee, ro2key, _ := roa.NewEE(500, "evil", []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.7.0/24")}}, clock, clock.Add(ttl), isp.Cert, isp.Key)
+	ro2, _ := roa.Sign(3333, []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.7.0/24")}}, ro2ee, ro2key)
+	isp.ROAs[0] = ro2
+	res := r.Validate(at)
+	if res.VRPs.Len() != 0 {
+		t.Fatalf("substituted ROA accepted: %v", res.VRPs.All())
+	}
+	found := false
+	for _, p := range res.Problems {
+		if p.Object == "roa-0.roa" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected hash-mismatch problem, got %v", res.Problems)
+	}
+}
+
+func TestValidateStaleManifestVoidsPP(t *testing.T) {
+	r := newRepo(t)
+	ripe := r.Anchor("ripe")
+	isp, _ := r.NewCA(ripe, "isp", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("193.0.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 3333, Max: 3333}},
+	})
+	if _, err := r.AddROA(isp, 3333, []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.6.0/24"), MaxLength: 24}}); err != nil {
+		t.Fatal(err)
+	}
+	// Validate after the manifest expired.
+	res := r.Validate(clock.Add(ttl + time.Hour))
+	if res.VRPs.Len() != 0 {
+		t.Fatal("stale publication point still produced VRPs")
+	}
+}
+
+func TestRevokeROA(t *testing.T) {
+	r := newRepo(t)
+	ripe := r.Anchor("ripe")
+	isp, _ := r.NewCA(ripe, "isp", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("193.0.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 3333, Max: 3333}},
+	})
+	ro, err := r.AddROA(isp, 3333, []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.6.0/24"), MaxLength: 24}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Validate(at).VRPs.Len(); got != 1 {
+		t.Fatalf("pre-revocation VRPs = %d", got)
+	}
+	if err := r.Revoke(isp, ro.EE.SerialNumber); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Validate(at)
+	if res.VRPs.Len() != 0 {
+		t.Fatalf("revoked ROA still yields VRPs: %v", res.VRPs.All())
+	}
+}
+
+func TestValidateRevokedChildCA(t *testing.T) {
+	r := newRepo(t)
+	ripe := r.Anchor("ripe")
+	isp, _ := r.NewCA(ripe, "isp", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("193.0.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 3333, Max: 3333}},
+	})
+	if _, err := r.AddROA(isp, 3333, []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.6.0/24"), MaxLength: 24}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Revoke(ripe, isp.Cert.SerialNumber); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Validate(at)
+	if res.VRPs.Len() != 0 {
+		t.Fatal("ROAs under revoked CA still accepted")
+	}
+}
+
+func TestMissingManifestVoidsPP(t *testing.T) {
+	r := newRepo(t)
+	ripe := r.Anchor("ripe")
+	isp, _ := r.NewCA(ripe, "isp", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("193.0.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 3333, Max: 3333}},
+	})
+	if _, err := r.AddROA(isp, 3333, []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.6.0/24"), MaxLength: 24}}); err != nil {
+		t.Fatal(err)
+	}
+	isp.Manifest = nil
+	res := r.Validate(at)
+	if res.VRPs.Len() != 0 {
+		t.Fatal("publication point without manifest accepted")
+	}
+}

@@ -1,0 +1,256 @@
+// Package roa implements Route Origin Authorizations.
+//
+// A ROA (RFC 6482) is a signed object stating that an AS is authorised
+// to originate a set of IP prefixes, each optionally up to a maximum
+// more-specific length. Real ROAs are CMS-wrapped; here the signed
+// object carries its one-time end-entity (EE) certificate, the DER
+// eContent, and an ECDSA signature made with the EE key, which preserves
+// the validation chain: TA → CA → EE cert → ROA payload.
+package roa
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/asn1"
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"ripki/internal/netutil"
+	"ripki/internal/rpki/cert"
+)
+
+// Prefix is one authorised prefix inside a ROA.
+type Prefix struct {
+	Prefix netip.Prefix
+	// MaxLength is the longest more-specific announcement authorised.
+	// It must satisfy Prefix.Bits() <= MaxLength <= family bits.
+	MaxLength int
+}
+
+// ROA is a route origin authorisation, possibly not yet validated.
+type ROA struct {
+	ASID     uint32
+	Prefixes []Prefix
+
+	// EE is the one-time end-entity certificate whose key signed the
+	// payload. Its resources must cover every authorised prefix.
+	EE *cert.Certificate
+	// Signature is the EE key's signature over the DER eContent.
+	Signature []byte
+	// RawContent is the DER eContent (the signed payload).
+	RawContent []byte
+}
+
+type asnROAPrefix struct {
+	Addr      []byte
+	Bits      int
+	MaxLength int
+}
+
+type asnROAContent struct {
+	Version  int
+	ASID     int64
+	Prefixes []asnROAPrefix
+}
+
+type asnROA struct {
+	Content   asn1.RawValue
+	EECert    []byte
+	Signature []byte
+}
+
+const contentVersion = 1
+
+// Sign builds and signs a ROA for asID over prefixes, using the provided
+// EE certificate and its private key. The EE certificate should already
+// be issued by the owning CA; Sign does not check resource containment
+// (Validate does).
+func Sign(asID uint32, prefixes []Prefix, ee *cert.Certificate, eeKey *ecdsa.PrivateKey) (*ROA, error) {
+	if ee == nil || eeKey == nil {
+		return nil, errors.New("roa: missing EE certificate or key")
+	}
+	if len(prefixes) == 0 {
+		return nil, errors.New("roa: a ROA must authorise at least one prefix")
+	}
+	wire := asnROAContent{Version: contentVersion, ASID: int64(asID)}
+	for _, p := range prefixes {
+		cp, err := netutil.Canonical(p.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("roa: %w", err)
+		}
+		ml := p.MaxLength
+		if ml == 0 {
+			ml = cp.Bits()
+		}
+		if ml < cp.Bits() || ml > netutil.FamilyBits(cp.Addr()) {
+			return nil, fmt.Errorf("roa: maxLength %d invalid for %v", ml, cp)
+		}
+		wire.Prefixes = append(wire.Prefixes, asnROAPrefix{
+			Addr: cp.Addr().AsSlice(), Bits: cp.Bits(), MaxLength: ml,
+		})
+	}
+	raw, err := asn1.Marshal(wire)
+	if err != nil {
+		return nil, fmt.Errorf("roa: encoding content: %w", err)
+	}
+	digest := sha256.Sum256(raw)
+	sig, err := ecdsa.SignASN1(rand.Reader, eeKey, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("roa: signing: %w", err)
+	}
+	out := &ROA{ASID: asID, EE: ee, Signature: sig, RawContent: raw}
+	for _, p := range wire.Prefixes {
+		a, _ := netip.AddrFromSlice(p.Addr)
+		out.Prefixes = append(out.Prefixes, Prefix{
+			Prefix:    netip.PrefixFrom(a, p.Bits).Masked(),
+			MaxLength: p.MaxLength,
+		})
+	}
+	return out, nil
+}
+
+// Marshal encodes the ROA (content, EE certificate, signature) to DER.
+func (r *ROA) Marshal() ([]byte, error) {
+	eeDER, err := r.EE.Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("roa: encoding EE certificate: %w", err)
+	}
+	return asn1.Marshal(asnROA{
+		Content:   asn1.RawValue{FullBytes: r.RawContent},
+		EECert:    eeDER,
+		Signature: r.Signature,
+	})
+}
+
+// Parse decodes a DER ROA. No validation is performed; call Validate.
+func Parse(der []byte) (*ROA, error) {
+	var w asnROA
+	rest, err := asn1.Unmarshal(der, &w)
+	if err != nil {
+		return nil, fmt.Errorf("roa: parsing: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("roa: trailing garbage")
+	}
+	var content asnROAContent
+	if rest, err = asn1.Unmarshal(w.Content.FullBytes, &content); err != nil {
+		return nil, fmt.Errorf("roa: parsing content: %w", err)
+	} else if len(rest) != 0 {
+		return nil, errors.New("roa: trailing garbage after content")
+	}
+	if content.Version != contentVersion {
+		return nil, fmt.Errorf("roa: unsupported content version %d", content.Version)
+	}
+	if content.ASID < 0 || content.ASID > 4294967295 {
+		return nil, fmt.Errorf("roa: AS number %d out of range", content.ASID)
+	}
+	ee, err := cert.Parse(w.EECert)
+	if err != nil {
+		return nil, fmt.Errorf("roa: parsing EE certificate: %w", err)
+	}
+	out := &ROA{
+		ASID:       uint32(content.ASID),
+		EE:         ee,
+		Signature:  w.Signature,
+		RawContent: w.Content.FullBytes,
+	}
+	for _, p := range content.Prefixes {
+		a, ok := netip.AddrFromSlice(p.Addr)
+		if !ok {
+			return nil, fmt.Errorf("roa: bad address length %d", len(p.Addr))
+		}
+		if p.Bits < 0 || p.Bits > netutil.FamilyBits(a) {
+			return nil, fmt.Errorf("roa: bad prefix length %d", p.Bits)
+		}
+		if p.MaxLength < p.Bits || p.MaxLength > netutil.FamilyBits(a) {
+			return nil, fmt.Errorf("roa: bad maxLength %d for /%d", p.MaxLength, p.Bits)
+		}
+		out.Prefixes = append(out.Prefixes, Prefix{
+			Prefix:    netip.PrefixFrom(a, p.Bits).Masked(),
+			MaxLength: p.MaxLength,
+		})
+	}
+	if len(out.Prefixes) == 0 {
+		return nil, errors.New("roa: no prefixes")
+	}
+	return out, nil
+}
+
+// Validate checks the ROA end to end against the issuing CA certificate:
+//
+//  1. the EE certificate chains to ca (signature, validity, resources),
+//  2. the EE certificate is not revoked according to crl (if non-nil),
+//  3. the payload signature verifies under the EE key,
+//  4. every authorised prefix is contained in the EE certificate's
+//     resources.
+//
+// This mirrors the steps an RPKI relying party performs before emitting
+// VRPs ("Only cryptographically correct ROAs are further used").
+func (r *ROA) Validate(ca *cert.Certificate, crl *cert.CRL, opts cert.VerifyOptions) error {
+	if r.EE == nil {
+		return errors.New("roa: missing EE certificate")
+	}
+	if r.EE.IsCA {
+		return errors.New("roa: EE certificate must not be a CA")
+	}
+	if err := r.EE.Verify(ca, opts); err != nil {
+		return fmt.Errorf("roa: EE certificate invalid: %w", err)
+	}
+	if crl != nil {
+		if err := crl.Verify(ca, opts); err != nil {
+			return fmt.Errorf("roa: CRL invalid: %w", err)
+		}
+		if crl.Revoked(r.EE.SerialNumber) {
+			return fmt.Errorf("roa: EE certificate serial %d revoked", r.EE.SerialNumber)
+		}
+	}
+	digest := sha256.Sum256(r.RawContent)
+	if !ecdsa.VerifyASN1(r.EE.PublicKey, digest[:], r.Signature) {
+		return errors.New("roa: payload signature does not verify")
+	}
+	for _, p := range r.Prefixes {
+		if !r.EE.Resources.ContainsPrefix(p.Prefix) {
+			return fmt.Errorf("roa: prefix %v outside EE certificate resources", p.Prefix)
+		}
+	}
+	return nil
+}
+
+// String renders the ROA in the conventional "AS -> prefixes" form.
+func (r *ROA) String() string {
+	s := fmt.Sprintf("ROA(AS%d:", r.ASID)
+	for _, p := range r.Prefixes {
+		s += fmt.Sprintf(" %v-%d", p.Prefix, p.MaxLength)
+	}
+	return s + ")"
+}
+
+// NewEE issues a one-time end-entity certificate for a ROA covering
+// exactly the given prefixes, signed by the CA. The returned key signs
+// the ROA payload.
+func NewEE(serial int64, subject string, prefixes []Prefix, notBefore, notAfter time.Time, caCert *cert.Certificate, caKey *ecdsa.PrivateKey) (*cert.Certificate, *ecdsa.PrivateKey, error) {
+	key, err := cert.GenerateKey(nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("roa: generating EE key: %w", err)
+	}
+	res := cert.Resources{}
+	for _, p := range prefixes {
+		res.Prefixes = append(res.Prefixes, p.Prefix.Masked())
+	}
+	ee, err := cert.Issue(cert.Template{
+		SerialNumber: serial,
+		Subject:      subject,
+		NotBefore:    notBefore,
+		NotAfter:     notAfter,
+		IsCA:         false,
+		Resources:    res,
+		PublicKey:    &key.PublicKey,
+	}, caCert.Subject, caKey)
+	if err != nil {
+		return nil, nil, fmt.Errorf("roa: issuing EE certificate: %w", err)
+	}
+	return ee, key, nil
+}

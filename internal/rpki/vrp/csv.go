@@ -1,0 +1,67 @@
+package vrp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits the set as "prefix,maxLength,asn" lines (the format
+// rpki-client and routinator use for their CSV exports), sorted.
+func (s *Set) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "prefix,maxLength,ASN"); err != nil {
+		return err
+	}
+	for _, v := range s.All() {
+		if _, err := fmt.Fprintf(bw, "%s,%d,AS%d\n", v.Prefix, v.MaxLength, v.ASN); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the WriteCSV format (header line optional, "AS" prefix
+// on the ASN optional).
+func ReadCSV(r io.Reader) (*Set, error) {
+	s := NewSet()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if line == 1 && strings.HasPrefix(strings.ToLower(text), "prefix,") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("vrp: line %d: want 3 fields, got %d", line, len(parts))
+		}
+		prefix, err := netip.ParsePrefix(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("vrp: line %d: %w", line, err)
+		}
+		maxLen, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("vrp: line %d: bad maxLength: %w", line, err)
+		}
+		asnText := strings.TrimPrefix(strings.TrimSpace(strings.ToUpper(parts[2])), "AS")
+		asn, err := strconv.ParseUint(asnText, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("vrp: line %d: bad ASN: %w", line, err)
+		}
+		if err := s.Add(VRP{Prefix: prefix, MaxLength: maxLen, ASN: uint32(asn)}); err != nil {
+			return nil, fmt.Errorf("vrp: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

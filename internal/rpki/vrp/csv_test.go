@@ -1,0 +1,56 @@
+package vrp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ripki/internal/netutil"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := NewSet()
+	mustAdd(t, s, "193.0.6.0/24", 24, 3333)
+	mustAdd(t, s, "10.0.0.0/8", 16, 64500)
+	mustAdd(t, s, "2001:db8::/32", 48, 64501)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	if st := got.Validate(netutil.MustPrefix("193.0.6.0/24"), 3333); st != Valid {
+		t.Errorf("reloaded set: %v", st)
+	}
+}
+
+func TestReadCSVFlexible(t *testing.T) {
+	in := "# comment\n193.0.6.0/24,24,3333\n10.0.0.0/8,16,AS64500\n\n"
+	s, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"notaprefix,24,1",
+		"10.0.0.0/8,x,1",
+		"10.0.0.0/8,16,ASx",
+		"10.0.0.0/8,16",
+		"10.0.0.0/8,4,1", // maxLength < bits
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted bad input", in)
+		}
+	}
+}

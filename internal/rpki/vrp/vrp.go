@@ -1,0 +1,204 @@
+// Package vrp implements Validated ROA Payloads and RFC 6811 prefix
+// origin validation.
+//
+// A VRP is the (prefix, maxLength, origin AS) triple extracted from a
+// cryptographically valid ROA. Given the full VRP set, any BGP route
+// (prefix, origin AS) is classified into one of three states:
+//
+//   - NotFound: no VRP covers the route's prefix,
+//   - Valid: some covering VRP matches the origin AS and the route's
+//     prefix length does not exceed that VRP's maxLength,
+//   - Invalid: at least one VRP covers the prefix but none matches.
+//
+// These are exactly the three states the paper reports in Figure 2.
+package vrp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"ripki/internal/netutil"
+	"ripki/internal/radix"
+)
+
+// State is an RFC 6811 origin-validation outcome.
+type State uint8
+
+const (
+	// NotFound means no VRP covers the announced prefix.
+	NotFound State = iota
+	// Valid means a covering VRP authorises the origin AS at this length.
+	Valid
+	// Invalid means the prefix is covered but no VRP matches.
+	Invalid
+)
+
+// String returns the conventional lower-case state name.
+func (s State) String() string {
+	switch s {
+	case NotFound:
+		return "not found"
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// VRP is a validated ROA payload.
+type VRP struct {
+	Prefix    netip.Prefix
+	MaxLength int
+	ASN       uint32
+}
+
+// String renders the VRP in "prefix-maxlen => ASN" form.
+func (v VRP) String() string {
+	return fmt.Sprintf("%v-%d => AS%d", v.Prefix, v.MaxLength, v.ASN)
+}
+
+// Set is a queryable collection of VRPs. It is safe for concurrent
+// readers once built; Add must not race with queries.
+type Set struct {
+	mu    sync.RWMutex
+	tree  radix.Tree[[]VRP]
+	count int
+}
+
+// NewSet returns an empty VRP set.
+func NewSet() *Set { return &Set{} }
+
+// Add inserts a VRP. Duplicate triples are ignored.
+func (s *Set) Add(v VRP) error {
+	cp, err := netutil.Canonical(v.Prefix)
+	if err != nil {
+		return fmt.Errorf("vrp: %w", err)
+	}
+	if v.MaxLength < cp.Bits() || v.MaxLength > netutil.FamilyBits(cp.Addr()) {
+		return fmt.Errorf("vrp: maxLength %d out of range for %v", v.MaxLength, cp)
+	}
+	v.Prefix = cp
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	existing, _ := s.tree.Lookup(cp)
+	for _, e := range existing {
+		if e == v {
+			return nil
+		}
+	}
+	if err := s.tree.Insert(cp, append(existing, v)); err != nil {
+		return err
+	}
+	s.count++
+	return nil
+}
+
+// Len returns the number of distinct VRPs.
+func (s *Set) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Validate classifies the route (prefix, originAS) per RFC 6811.
+func (s *Set) Validate(prefix netip.Prefix, originAS uint32) State {
+	st, _ := s.ValidateExplain(prefix, originAS)
+	return st
+}
+
+// ValidateExplain is Validate plus the list of covering VRPs considered,
+// for diagnostics and the looking-glass tools.
+func (s *Set) ValidateExplain(prefix netip.Prefix, originAS uint32) (State, []VRP) {
+	cp, err := netutil.Canonical(prefix)
+	if err != nil {
+		return NotFound, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := s.tree.CoveringPrefix(cp, nil)
+	if len(entries) == 0 {
+		return NotFound, nil
+	}
+	var covering []VRP
+	state := Invalid
+	for _, e := range entries {
+		for _, v := range e.Value {
+			covering = append(covering, v)
+			if v.ASN == originAS && originAS != 0 && cp.Bits() <= v.MaxLength {
+				state = Valid
+			}
+		}
+	}
+	return state, covering
+}
+
+// All returns every VRP, sorted by prefix then maxLength then ASN.
+// The slice is freshly allocated.
+func (s *Set) All() []VRP {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]VRP, 0, s.count)
+	s.tree.Walk(func(_ netip.Prefix, vs []VRP) bool {
+		out = append(out, vs...)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if c := netutil.ComparePrefixes(out[i].Prefix, out[j].Prefix); c != 0 {
+			return c < 0
+		}
+		if out[i].MaxLength != out[j].MaxLength {
+			return out[i].MaxLength < out[j].MaxLength
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	return out
+}
+
+// HasASN reports whether any VRP in the set names asn as its origin —
+// used by the CDN study to ask "does this AS appear in the RPKI at
+// all?".
+func (s *Set) HasASN(asn uint32) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	found := false
+	s.tree.Walk(func(_ netip.Prefix, vs []VRP) bool {
+		for _, v := range vs {
+			if v.ASN == asn {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// Diff computes the VRPs to announce and withdraw to transform old into
+// s. It is used by the RTR cache to build incremental updates.
+func (s *Set) Diff(old *Set) (announce, withdraw []VRP) {
+	cur := s.All()
+	prev := old.All()
+	curSet := make(map[VRP]bool, len(cur))
+	for _, v := range cur {
+		curSet[v] = true
+	}
+	prevSet := make(map[VRP]bool, len(prev))
+	for _, v := range prev {
+		prevSet[v] = true
+	}
+	for _, v := range cur {
+		if !prevSet[v] {
+			announce = append(announce, v)
+		}
+	}
+	for _, v := range prev {
+		if !curSet[v] {
+			withdraw = append(withdraw, v)
+		}
+	}
+	return announce, withdraw
+}

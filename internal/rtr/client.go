@@ -1,0 +1,177 @@
+package rtr
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"ripki/internal/rpki/vrp"
+)
+
+// Client is a router-side RTR session. It maintains a local copy of the
+// cache's VRP set and exposes it as a *vrp.Set for origin validation.
+type Client struct {
+	conn net.Conn
+
+	mu        sync.Mutex
+	sessionID uint16
+	serial    uint32
+	haveState bool
+	records   map[vrp.VRP]bool
+}
+
+// NewClient wraps an established connection to an RTR cache.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, records: make(map[vrp.VRP]bool)}
+}
+
+// Dial connects to an RTR cache at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rtr: dialing %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// Close terminates the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Serial returns the serial of the last completed sync.
+func (c *Client) Serial() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serial
+}
+
+// Len returns the number of VRPs currently held.
+func (c *Client) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// Reset performs a full synchronisation (Reset Query) and replaces the
+// local state.
+func (c *Client) Reset() error {
+	if err := WritePDU(c.conn, &ResetQuery{}); err != nil {
+		return fmt.Errorf("rtr: sending reset query: %w", err)
+	}
+	return c.readResponse(true)
+}
+
+// Poll performs an incremental synchronisation (Serial Query). If the
+// cache answers Cache Reset, Poll falls back to a full Reset.
+func (c *Client) Poll() error {
+	c.mu.Lock()
+	if !c.haveState {
+		c.mu.Unlock()
+		return c.Reset()
+	}
+	q := &SerialQuery{SessionID: c.sessionID, Serial: c.serial}
+	c.mu.Unlock()
+	if err := WritePDU(c.conn, q); err != nil {
+		return fmt.Errorf("rtr: sending serial query: %w", err)
+	}
+	return c.readResponse(false)
+}
+
+// readResponse consumes one cache response. If full is true the local
+// state is cleared when the Cache Response arrives.
+func (c *Client) readResponse(full bool) error {
+	for {
+		pdu, err := ReadPDU(c.conn)
+		if err != nil {
+			return fmt.Errorf("rtr: reading response: %w", err)
+		}
+		switch p := pdu.(type) {
+		case *CacheResponse:
+			c.mu.Lock()
+			c.sessionID = p.SessionID
+			if full {
+				c.records = make(map[vrp.VRP]bool)
+			}
+			c.mu.Unlock()
+			if err := c.readRecords(); err != nil {
+				return err
+			}
+			return nil
+		case *CacheReset:
+			if full {
+				return fmt.Errorf("rtr: cache reset in answer to reset query")
+			}
+			return c.Reset()
+		case *SerialNotify:
+			// Permitted between request and response; ignore, data comes.
+			continue
+		case *ErrorReport:
+			return p
+		default:
+			return fmt.Errorf("rtr: unexpected %T awaiting cache response", pdu)
+		}
+	}
+}
+
+// readRecords consumes prefix PDUs until End of Data.
+func (c *Client) readRecords() error {
+	for {
+		pdu, err := ReadPDU(c.conn)
+		if err != nil {
+			return fmt.Errorf("rtr: reading records: %w", err)
+		}
+		switch p := pdu.(type) {
+		case *Prefix:
+			c.mu.Lock()
+			if p.Announce {
+				c.records[p.VRP] = true
+			} else {
+				delete(c.records, p.VRP)
+			}
+			c.mu.Unlock()
+		case *EndOfData:
+			c.mu.Lock()
+			c.serial = p.Serial
+			c.haveState = true
+			c.mu.Unlock()
+			return nil
+		case *ErrorReport:
+			return p
+		default:
+			return fmt.Errorf("rtr: unexpected %T inside response", pdu)
+		}
+	}
+}
+
+// WaitNotify blocks until the cache sends a Serial Notify (or the
+// connection fails) and returns the advertised serial. Callers typically
+// follow with Poll.
+func (c *Client) WaitNotify() (uint32, error) {
+	for {
+		pdu, err := ReadPDU(c.conn)
+		if err != nil {
+			return 0, err
+		}
+		switch p := pdu.(type) {
+		case *SerialNotify:
+			return p.Serial, nil
+		case *ErrorReport:
+			return 0, p
+		default:
+			// Ignore stray PDUs outside a response window.
+		}
+	}
+}
+
+// Set snapshots the current records into a vrp.Set for origin
+// validation.
+func (c *Client) Set() *vrp.Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := vrp.NewSet()
+	for v := range c.records {
+		// records only ever holds VRPs decoded from valid PDUs, so Add
+		// cannot fail; ignore the error deliberately.
+		_ = s.Add(v)
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package rtr
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"ripki/internal/rpki/vrp"
+)
+
+// Property: every structurally valid IPv4 prefix PDU round-trips
+// byte-exactly through Serialize → Decode → Serialize.
+func TestQuickPrefixV4RoundTrip(t *testing.T) {
+	f := func(a [4]byte, bitsRaw, maxRaw uint8, asn uint32, announce bool) bool {
+		bits := int(bitsRaw) % 33
+		maxLen := bits + int(maxRaw)%(33-bits)
+		p := netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked()
+		in := &Prefix{Announce: announce, VRP: vrp.VRP{Prefix: p, MaxLength: maxLen, ASN: asn}}
+		wire := in.SerializeTo(nil)
+		out, n, err := Decode(wire)
+		if err != nil || n != len(wire) {
+			return false
+		}
+		return bytes.Equal(out.SerializeTo(nil), wire)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IPv6 prefix PDUs too.
+func TestQuickPrefixV6RoundTrip(t *testing.T) {
+	f := func(a [16]byte, bitsRaw, maxRaw uint8, asn uint32) bool {
+		bits := int(bitsRaw) % 129
+		maxLen := bits + int(maxRaw)%(129-bits)
+		p := netip.PrefixFrom(netip.AddrFrom16(a), bits).Masked()
+		in := &Prefix{Announce: true, VRP: vrp.VRP{Prefix: p, MaxLength: maxLen, ASN: asn}}
+		wire := in.SerializeTo(nil)
+		out, _, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out.SerializeTo(nil), wire)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serial-carrying PDUs round-trip for all session/serial
+// combinations.
+func TestQuickSerialPDUs(t *testing.T) {
+	f := func(session uint16, serial uint32, kind uint8) bool {
+		var in PDU
+		switch kind % 3 {
+		case 0:
+			in = &SerialNotify{SessionID: session, Serial: serial}
+		case 1:
+			in = &SerialQuery{SessionID: session, Serial: serial}
+		default:
+			in = &EndOfData{SessionID: session, Serial: serial}
+		}
+		wire := in.SerializeTo(nil)
+		out, _, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out.SerializeTo(nil), wire)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: error reports with arbitrary payload and text round-trip.
+func TestQuickErrorReport(t *testing.T) {
+	f := func(code uint16, enc []byte, text string) bool {
+		if len(enc) > 1024 || len(text) > 1024 {
+			return true // outside the bounded PDU size, skip
+		}
+		in := &ErrorReport{Code: code, Encapsulated: enc, Text: text}
+		wire := in.SerializeTo(nil)
+		out, _, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		got := out.(*ErrorReport)
+		return got.Code == code && bytes.Equal(got.Encapsulated, enc) && got.Text == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+package rtr
+
+import (
+	"errors"
+	"log"
+	"net"
+	"sync"
+
+	"ripki/internal/rpki/vrp"
+)
+
+// delta is the set change from one serial to the next.
+type delta struct {
+	announce []vrp.VRP
+	withdraw []vrp.VRP
+}
+
+// Server is an RTR cache. It serves the current VRP set to router
+// clients, answers incremental serial queries from retained deltas, and
+// notifies connected routers when the set changes.
+type Server struct {
+	// Logf, if non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	sessionID uint16
+	serial    uint32
+	current   *vrp.Set
+	deltas    map[uint32]delta // keyed by the serial the delta upgrades FROM
+	maxDeltas int
+	conns     map[net.Conn]struct{}
+	closed    bool
+	ln        net.Listener
+}
+
+// NewServer creates a cache serving the given VRP set. sessionID
+// identifies this cache incarnation; routers restart their session when
+// it changes.
+func NewServer(set *vrp.Set, sessionID uint16) *Server {
+	if set == nil {
+		set = vrp.NewSet()
+	}
+	return &Server{
+		sessionID: sessionID,
+		current:   set,
+		deltas:    make(map[uint32]delta),
+		maxDeltas: 16,
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Serial returns the cache's current serial number.
+func (s *Server) Serial() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serial
+}
+
+// Update replaces the served VRP set, records a delta for incremental
+// sync, bumps the serial, and sends Serial Notify to connected routers.
+func (s *Server) Update(set *vrp.Set) {
+	s.mu.Lock()
+	ann, wd := set.Diff(s.current)
+	s.deltas[s.serial] = delta{announce: ann, withdraw: wd}
+	if len(s.deltas) > s.maxDeltas {
+		// Drop the oldest retained delta (smallest key).
+		var oldest uint32
+		first := true
+		for k := range s.deltas {
+			if first || k < oldest {
+				oldest, first = k, false
+			}
+		}
+		delete(s.deltas, oldest)
+	}
+	s.serial++
+	s.current = set
+	serial, session := s.serial, s.sessionID
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	notify := (&SerialNotify{SessionID: session, Serial: serial}).SerializeTo(nil)
+	for _, c := range conns {
+		if _, err := c.Write(notify); err != nil {
+			s.logf("rtr: notify %v: %v", c.RemoteAddr(), err)
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Serve accepts router sessions on ln until Close is called. It returns
+// the listener error after shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("rtr: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting sessions and disconnects all routers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		pdu, err := ReadPDU(conn)
+		if err != nil {
+			return
+		}
+		switch q := pdu.(type) {
+		case *ResetQuery:
+			s.sendFull(conn)
+		case *SerialQuery:
+			s.sendIncremental(conn, q)
+		case *ErrorReport:
+			s.logf("rtr: client %v error: %s", conn.RemoteAddr(), q.Text)
+			return
+		default:
+			report := &ErrorReport{Code: ErrUnsupportedPDU, Encapsulated: pdu.SerializeTo(nil), Text: "unexpected PDU"}
+			if err := WritePDU(conn, report); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// sendFull answers a reset query: Cache Response, every VRP as an
+// announcement, End of Data.
+func (s *Server) sendFull(conn net.Conn) {
+	s.mu.Lock()
+	session, serial := s.sessionID, s.serial
+	all := s.current.All()
+	s.mu.Unlock()
+
+	buf := (&CacheResponse{SessionID: session}).SerializeTo(nil)
+	for _, v := range all {
+		buf = (&Prefix{Announce: true, VRP: v}).SerializeTo(buf)
+	}
+	buf = (&EndOfData{SessionID: session, Serial: serial}).SerializeTo(buf)
+	if _, err := conn.Write(buf); err != nil {
+		s.logf("rtr: send full to %v: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// sendIncremental answers a serial query with the retained deltas from
+// the client's serial to now, or Cache Reset if history is gone.
+func (s *Server) sendIncremental(conn net.Conn, q *SerialQuery) {
+	s.mu.Lock()
+	session, serial := s.sessionID, s.serial
+	if q.SessionID != session {
+		s.mu.Unlock()
+		WritePDU(conn, &CacheReset{})
+		return
+	}
+	if q.Serial == serial {
+		// Nothing new: empty response confirming the serial.
+		s.mu.Unlock()
+		buf := (&CacheResponse{SessionID: session}).SerializeTo(nil)
+		buf = (&EndOfData{SessionID: session, Serial: serial}).SerializeTo(buf)
+		conn.Write(buf)
+		return
+	}
+	var steps []delta
+	ok := true
+	for at := q.Serial; at != serial; at++ {
+		d, have := s.deltas[at]
+		if !have {
+			ok = false
+			break
+		}
+		steps = append(steps, d)
+	}
+	s.mu.Unlock()
+	if !ok {
+		WritePDU(conn, &CacheReset{})
+		return
+	}
+	buf := (&CacheResponse{SessionID: session}).SerializeTo(nil)
+	for _, d := range steps {
+		for _, v := range d.withdraw {
+			buf = (&Prefix{Announce: false, VRP: v}).SerializeTo(buf)
+		}
+		for _, v := range d.announce {
+			buf = (&Prefix{Announce: true, VRP: v}).SerializeTo(buf)
+		}
+	}
+	buf = (&EndOfData{SessionID: session, Serial: serial}).SerializeTo(buf)
+	if _, err := conn.Write(buf); err != nil {
+		s.logf("rtr: send incremental to %v: %v", conn.RemoteAddr(), err)
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBinnerMeans(t *testing.T) {
+	b := NewBinner(10)
+	for rank := 1; rank <= 30; rank++ {
+		v := 0.0
+		if rank <= 10 {
+			v = 1.0 // first bin all ones
+		} else if rank <= 20 && rank%2 == 0 {
+			v = 1.0 // second bin half ones
+		}
+		b.Add(rank, v)
+	}
+	if b.Bins() != 3 {
+		t.Fatalf("Bins = %d", b.Bins())
+	}
+	if got := b.Mean(0); got != 1.0 {
+		t.Errorf("Mean(0) = %v", got)
+	}
+	if got := b.Mean(1); got != 0.5 {
+		t.Errorf("Mean(1) = %v", got)
+	}
+	if got := b.Mean(2); got != 0.0 {
+		t.Errorf("Mean(2) = %v", got)
+	}
+	if got := b.Overall(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Overall = %v", got)
+	}
+	if !math.IsNaN(b.Mean(9)) {
+		t.Error("Mean of absent bin not NaN")
+	}
+	if b.Count(0) != 10 || b.Count(99) != 0 {
+		t.Error("Count wrong")
+	}
+	if b.Width() != 10 {
+		t.Error("Width wrong")
+	}
+}
+
+func TestBinnerBoundaries(t *testing.T) {
+	b := NewBinner(10000)
+	b.Add(1, 1)
+	b.Add(10000, 1)
+	b.Add(10001, 1)
+	if b.Bins() != 2 {
+		t.Fatalf("Bins = %d", b.Bins())
+	}
+	if b.Count(0) != 2 || b.Count(1) != 1 {
+		t.Errorf("bin counts: %d, %d", b.Count(0), b.Count(1))
+	}
+}
+
+func TestBinnerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(rank 0) did not panic")
+		}
+	}()
+	NewBinner(10).Add(0, 1)
+}
+
+func TestSeriesFromBinner(t *testing.T) {
+	b := NewBinner(100)
+	b.Add(1, 0.5)
+	b.Add(150, 1.0)
+	s := b.Series("test")
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %v", s.Points)
+	}
+	if s.Points[0].X != 1 || s.Points[1].X != 101 {
+		t.Errorf("x values: %v", s.Points)
+	}
+}
+
+func TestFigureTSV(t *testing.T) {
+	f := &Figure{
+		Title:  "Figure 2",
+		XLabel: "rank",
+		YLabel: "freq",
+		Series: []Series{
+			{Name: "valid", Points: []Point{{1, 0.04}, {10001, 0.05}}},
+			{Name: "invalid", Points: []Point{{1, 0.001}, {10001, 0.0009}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("TSV lines = %d:\n%s", len(lines), out)
+	}
+	if lines[1] != "rank\tvalid\tinvalid" {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "1\t0.040000\t0.001000") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	f := &Figure{
+		Title:  "t",
+		YLabel: "y",
+		Series: []Series{{Name: "a", Points: []Point{{1, 0}, {2, 1}, {3, 0.5}}}},
+	}
+	out := f.ASCIIPlot(20, 5)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "a") {
+		t.Errorf("plot missing markers:\n%s", out)
+	}
+	empty := &Figure{Title: "e"}
+	if !strings.Contains(empty.ASCIIPlot(20, 5), "no data") {
+		t.Error("empty plot not flagged")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "Table 1",
+		Columns: []string{"Rank", "Domain", "www"},
+		Rows: [][]string{
+			{"2", "facebook.com", "3/3"},
+			{"70", "cdncache1-a.akamaihd.net", "n/a"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "facebook.com\t3/3") {
+		t.Errorf("TSV:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := tbl.WriteAligned(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cdncache1-a.akamaihd.net") {
+		t.Errorf("aligned:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,151 @@
+package webworld
+
+import (
+	"fmt"
+	"net/netip"
+
+	"ripki/internal/netutil"
+)
+
+// rirPool is one RIR's unallocated address space.
+type rirPool struct {
+	name string
+	// v4 blocks are /8s the RIR hands out /16 and /20 prefixes from.
+	v4 []netip.Prefix
+	// v6 block is the RIR's /12-ish; /32s are carved from it.
+	v6 netip.Prefix
+
+	nextV4Block int
+	nextV4Off   int // count of /20s handed out of the current /8
+	nextV6Off   int // count of /32s handed out
+}
+
+// allocator carves prefixes from per-RIR pools, mirroring how number
+// resources reach organisations in the real Internet. The /8 pools are
+// the historically accurate RIR blocks, which keeps generated addresses
+// clear of the IANA special-purpose ranges.
+type allocator struct {
+	pools map[string]*rirPool
+	order []string
+}
+
+func newAllocator() *allocator {
+	mk := func(name, v6 string, v4s ...string) *rirPool {
+		p := &rirPool{name: name, v6: netutil.MustPrefix(v6)}
+		for _, b := range v4s {
+			p.v4 = append(p.v4, netutil.MustPrefix(b))
+		}
+		return p
+	}
+	a := &allocator{pools: map[string]*rirPool{}}
+	for _, p := range []*rirPool{
+		mk("ripe", "2a00::/12", "31.0.0.0/8", "46.0.0.0/8", "62.0.0.0/8", "77.0.0.0/8", "78.0.0.0/8", "193.0.0.0/8", "194.0.0.0/8", "212.0.0.0/8"),
+		mk("arin", "2600::/12", "23.0.0.0/8", "63.0.0.0/8", "64.0.0.0/8", "96.0.0.0/8", "107.0.0.0/8", "184.0.0.0/8", "199.0.0.0/8", "208.0.0.0/8"),
+		mk("apnic", "2400::/12", "27.0.0.0/8", "36.0.0.0/8", "101.0.0.0/8", "110.0.0.0/8", "119.0.0.0/8", "175.0.0.0/8", "202.0.0.0/8", "218.0.0.0/8"),
+		mk("lacnic", "2800::/12", "131.0.0.0/8", "138.0.0.0/8", "177.0.0.0/8", "179.0.0.0/8", "181.0.0.0/8", "186.0.0.0/8", "187.0.0.0/8", "200.0.0.0/8"),
+		mk("afrinic", "2c00::/12", "41.0.0.0/8", "102.0.0.0/8", "105.0.0.0/8", "154.0.0.0/8", "156.0.0.0/8", "196.0.0.0/8", "197.0.0.0/8"),
+	} {
+		a.pools[p.name] = p
+		a.order = append(a.order, p.name)
+	}
+	return a
+}
+
+// rirNames returns the pool names in allocation order.
+func (a *allocator) rirNames() []string { return a.order }
+
+// nextV4 carves the next IPv4 prefix of the given length (16..24) from
+// the RIR's pool.
+func (a *allocator) nextV4(rir string, bits int) (netip.Prefix, error) {
+	p := a.pools[rir]
+	if p == nil {
+		return netip.Prefix{}, fmt.Errorf("webworld: unknown RIR %q", rir)
+	}
+	if bits < 12 || bits > 24 {
+		return netip.Prefix{}, fmt.Errorf("webworld: unsupported v4 allocation size /%d", bits)
+	}
+	// All allocations are tracked in units of /24 within the current
+	// /8; a /bits allocation consumes 2^(24-bits) units and is aligned
+	// to its size.
+	units := 1 << (24 - bits)
+	// Align.
+	if rem := p.nextV4Off % units; rem != 0 {
+		p.nextV4Off += units - rem
+	}
+	const unitsPer8 = 1 << 16 // /24s in a /8
+	if p.nextV4Off+units > unitsPer8 {
+		p.nextV4Block++
+		p.nextV4Off = 0
+	}
+	if p.nextV4Block >= len(p.v4) {
+		return netip.Prefix{}, fmt.Errorf("webworld: RIR %q exhausted its IPv4 pool", rir)
+	}
+	base := p.v4[p.nextV4Block].Addr().As4()
+	off := p.nextV4Off
+	p.nextV4Off += units
+	addr := netip.AddrFrom4([4]byte{base[0], byte(off >> 8), byte(off & 0xff), 0})
+	return netip.PrefixFrom(addr, bits).Masked(), nil
+}
+
+// nextV6 carves the next /32 from the RIR's v6 pool.
+func (a *allocator) nextV6(rir string) (netip.Prefix, error) {
+	p := a.pools[rir]
+	if p == nil {
+		return netip.Prefix{}, fmt.Errorf("webworld: unknown RIR %q", rir)
+	}
+	base := p.v6.Addr().As16()
+	off := p.nextV6Off
+	p.nextV6Off++
+	if off > 0xFFFFF {
+		return netip.Prefix{}, fmt.Errorf("webworld: RIR %q exhausted its IPv6 pool", rir)
+	}
+	// Vary bytes 1..3 below the /12 boundary; the pool base has the top
+	// 12 bits set, so adding into bytes 1-3 stays inside the block.
+	base[1] |= byte(off >> 16)
+	base[2] = byte(off >> 8)
+	base[3] = byte(off)
+	return netip.PrefixFrom(netip.AddrFrom16(base), 32).Masked(), nil
+}
+
+// subPrefix carves the idx-th sub-prefix of length bits out of p
+// (IPv4 only; idx counts from 0 within p).
+func subPrefix(p netip.Prefix, bits, idx int) netip.Prefix {
+	if !p.Addr().Is4() || bits <= p.Bits() || bits > 32 {
+		panic(fmt.Sprintf("webworld: bad subPrefix(%v, %d)", p, bits))
+	}
+	span := 1 << (32 - bits)
+	base := p.Addr().As4()
+	v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+	v += uint32(idx%(1<<(bits-p.Bits()))) * uint32(span)
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}), bits).Masked()
+}
+
+// hostAddr returns the i-th usable host address inside a prefix
+// (i starts at 1; .0 is skipped).
+func hostAddr(p netip.Prefix, i int) netip.Addr {
+	if p.Addr().Is4() {
+		base := p.Addr().As4()
+		v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+		span := uint32(1) << (32 - p.Bits())
+		v += uint32(i) % max32(span-2, 1)
+		if v%span == 0 {
+			v++
+		}
+		return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	}
+	base := p.Addr().As16()
+	base[15] = byte(i)
+	base[14] = byte(i >> 8)
+	base[13] = byte(i >> 16)
+	if base[15] == 0 && base[14] == 0 && base[13] == 0 {
+		base[15] = 1
+	}
+	return netip.AddrFrom16(base)
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

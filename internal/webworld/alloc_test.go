@@ -1,0 +1,128 @@
+package webworld
+
+import (
+	"net/netip"
+	"testing"
+
+	"ripki/internal/netutil"
+)
+
+func TestAllocatorV4Disjoint(t *testing.T) {
+	a := newAllocator()
+	seen := map[netip.Prefix]bool{}
+	var all []netip.Prefix
+	for _, rir := range a.rirNames() {
+		for i := 0; i < 50; i++ {
+			bits := 16 + 4*(i%3)
+			p, err := a.nextV4(rir, bits)
+			if err != nil {
+				t.Fatalf("%s /%d: %v", rir, bits, err)
+			}
+			if p.Bits() != bits {
+				t.Fatalf("allocated /%d, want /%d", p.Bits(), bits)
+			}
+			if seen[p] {
+				t.Fatalf("duplicate allocation %v", p)
+			}
+			seen[p] = true
+			all = append(all, p)
+			if netutil.IsSpecialPurpose(p.Addr()) {
+				t.Fatalf("allocated special-purpose space %v", p)
+			}
+		}
+	}
+	// No allocation may overlap another.
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if netutil.Covers(all[i], all[j]) || netutil.Covers(all[j], all[i]) {
+				t.Fatalf("overlapping allocations %v and %v", all[i], all[j])
+			}
+		}
+	}
+}
+
+func TestAllocatorV6(t *testing.T) {
+	a := newAllocator()
+	seen := map[netip.Prefix]bool{}
+	for _, rir := range a.rirNames() {
+		for i := 0; i < 30; i++ {
+			p, err := a.nextV6(rir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Bits() != 32 || !p.Addr().Is6() {
+				t.Fatalf("bad v6 allocation %v", p)
+			}
+			if seen[p] {
+				t.Fatalf("duplicate v6 allocation %v", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestAllocatorErrors(t *testing.T) {
+	a := newAllocator()
+	if _, err := a.nextV4("nosuch", 16); err == nil {
+		t.Error("unknown RIR accepted")
+	}
+	if _, err := a.nextV4("ripe", 8); err == nil {
+		t.Error("/8 allocation accepted")
+	}
+	if _, err := a.nextV4("ripe", 25); err == nil {
+		t.Error("/25 allocation accepted")
+	}
+	if _, err := a.nextV6("nosuch"); err == nil {
+		t.Error("unknown RIR v6 accepted")
+	}
+}
+
+func TestHostAddrStaysInPrefix(t *testing.T) {
+	ps := []netip.Prefix{
+		netutil.MustPrefix("193.0.0.0/16"),
+		netutil.MustPrefix("23.99.16.0/20"),
+		netutil.MustPrefix("2a00:1000::/32"),
+	}
+	for _, p := range ps {
+		for i := 1; i < 5000; i += 97 {
+			a := hostAddr(p, i)
+			if !p.Contains(a) {
+				t.Fatalf("hostAddr(%v, %d) = %v escaped the prefix", p, i, a)
+			}
+			if a == p.Addr() && p.Addr().Is4() {
+				t.Fatalf("hostAddr(%v, %d) returned the network address", p, i)
+			}
+		}
+	}
+}
+
+func TestSubPrefix(t *testing.T) {
+	p := netutil.MustPrefix("193.0.0.0/16")
+	seen := map[netip.Prefix]bool{}
+	for i := 0; i < 16; i++ {
+		sp := subPrefix(p, 20, i)
+		if sp.Bits() != 20 {
+			t.Fatalf("subPrefix bits = %d", sp.Bits())
+		}
+		if !netutil.Covers(p, sp) {
+			t.Fatalf("subPrefix %v escapes %v", sp, p)
+		}
+		seen[sp] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("only %d distinct /20s in a /16", len(seen))
+	}
+	// Index wraps modulo the sub-prefix count.
+	if subPrefix(p, 20, 16) != subPrefix(p, 20, 0) {
+		t.Error("index wrap wrong")
+	}
+}
+
+func TestSubPrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("subPrefix with shorter target did not panic")
+		}
+	}()
+	subPrefix(netutil.MustPrefix("10.0.0.0/16"), 12, 0)
+}

@@ -1,0 +1,396 @@
+package webworld
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"strings"
+
+	"ripki/internal/alexa"
+	"ripki/internal/dns"
+)
+
+// cachePoolEntry is one CDN delivery hostname: the terminal name of
+// customer CNAME chains, carrying the cache addresses.
+type cachePoolEntry struct {
+	host  string
+	addrs []netip.Addr
+}
+
+// buildCachePools provisions each CDN's delivery hostnames. A fraction
+// of cache addresses live in third-party eyeball ISP networks; those
+// inherit whatever RPKI coverage the ISP created — the §4.2 finding
+// "every RPKI-enabled CDN-content is served by a third party network".
+func (w *World) buildCachePools() map[string][]cachePoolEntry {
+	pools := make(map[string][]cachePoolEntry, len(w.orgs.cdns))
+	size := clamp(w.Cfg.Domains/500, 40, 2000)
+	for _, cdnOrg := range w.orgs.cdns {
+		spec := cdnOrg.CDN
+		entries := make([]cachePoolEntry, 0, size)
+		for i := 0; i < size; i++ {
+			suffix := spec.ServiceSuffixes[w.rnd.Intn(len(spec.ServiceSuffixes))]
+			e := cachePoolEntry{host: fmt.Sprintf("e%05d.%c.%s", i, 'a'+rune(w.rnd.Intn(4)), suffix)}
+			nAddr := 1 + w.rnd.Intn(2)
+			for j := 0; j < nAddr; j++ {
+				var p netip.Prefix
+				if w.rnd.Float64() < w.Cfg.ThirdPartyCacheShare {
+					isp := w.orgs.isps[w.rnd.Intn(len(w.orgs.isps))]
+					p = w.v4PrefixOf(isp)
+					w.Stats.CacheInThirdParty++
+				} else {
+					p = w.v4PrefixOf(cdnOrg)
+					w.Stats.CacheInCDNNetwork++
+				}
+				e.addrs = append(e.addrs, hostAddr(p, 1+w.rnd.Intn(4000)))
+			}
+			for _, a := range e.addrs {
+				w.Registry.Add(dns.RR{Name: e.host, Type: dns.TypeA, TTL: 20, Addr: a})
+			}
+			if v6 := w.v6PrefixOf(cdnOrg); v6.IsValid() && w.rnd.Float64() < 0.3 {
+				a6 := hostAddr(v6, 1+w.rnd.Intn(4000))
+				w.Registry.Add(dns.RR{Name: e.host, Type: dns.TypeAAAA, TTL: 20, Addr: a6})
+			}
+			entries = append(entries, e)
+		}
+		pools[spec.Name] = entries
+	}
+	return pools
+}
+
+// v4PrefixOf picks a random IPv4 prefix of the organisation.
+func (w *World) v4PrefixOf(o *Org) netip.Prefix {
+	for tries := 0; tries < 8; tries++ {
+		p := o.Prefixes[w.rnd.Intn(len(o.Prefixes))]
+		if p.Addr().Is4() {
+			return p
+		}
+	}
+	for _, p := range o.Prefixes {
+		if p.Addr().Is4() {
+			return p
+		}
+	}
+	panic("webworld: organisation " + o.Name + " has no IPv4 prefix")
+}
+
+// v6PrefixOf returns an IPv6 prefix of the organisation, if any.
+func (w *World) v6PrefixOf(o *Org) netip.Prefix {
+	for _, p := range o.Prefixes {
+		if p.Addr().Is6() {
+			return p
+		}
+	}
+	return netip.Prefix{}
+}
+
+// cdnShare interpolates CDN adoption between the top and tail anchors
+// as a convex curve in log10(rank): adoption stays high through the
+// prominent ranks and falls away in the long tail, matching Figure 3's
+// measured profile.
+func (w *World) cdnShare(rank int) float64 {
+	n := float64(w.Cfg.Domains)
+	if n <= 1 {
+		return w.Cfg.CDNShareTop
+	}
+	t := math.Log10(float64(rank)) / math.Log10(n)
+	t = math.Pow(t, 2.5)
+	return w.Cfg.CDNShareTop + (w.Cfg.CDNShareTail-w.Cfg.CDNShareTop)*t
+}
+
+// pickCDN selects a CDN by spec weight.
+func (w *World) pickCDN() *Org {
+	total := 0.0
+	for _, o := range w.orgs.cdns {
+		total += o.CDN.Weight
+	}
+	x := w.rnd.Float64() * total
+	for _, o := range w.orgs.cdns {
+		x -= o.CDN.Weight
+		if x <= 0 {
+			return o
+		}
+	}
+	return w.orgs.cdns[len(w.orgs.cdns)-1]
+}
+
+// maybeUnreachable swaps an address for one in allocated-but-unannounced
+// space with the configured probability (paper: 0.01% of addresses are
+// not visible from the BGP vantage points).
+func (w *World) maybeUnreachable(a netip.Addr) netip.Addr {
+	if w.rnd.Float64() >= w.Cfg.UnreachableProb || len(w.orgs.unrouted) == 0 {
+		return a
+	}
+	w.Stats.AddrsUnreachable++
+	p := w.orgs.unrouted[w.rnd.Intn(len(w.orgs.unrouted))]
+	return hostAddr(p, 1+w.rnd.Intn(4000))
+}
+
+// buildDomains creates the ranked population and all web DNS records.
+func (w *World) buildDomains() error {
+	names := domainNames(w.rnd, w.Cfg.Domains)
+	w.List = alexa.FromDomains(names)
+	pools := w.buildCachePools()
+
+	fixtures := make(map[int]topSite)
+	for _, ts := range topSites() {
+		if ts.rank <= w.Cfg.Domains {
+			fixtures[ts.rank] = ts
+		}
+	}
+	fixISPNext := 0
+	for _, e := range w.List.Entries() {
+		if ts, ok := fixtures[e.Rank]; ok {
+			if err := w.buildFixture(ts, &fixISPNext); err != nil {
+				return err
+			}
+			continue
+		}
+		w.buildRegularDomain(e.Rank, e.Domain, pools)
+	}
+	return nil
+}
+
+// maybeSignZone adds a DNSKEY at the zone apex with the configured
+// TLD-dependent probability — the DNSSEC-adoption signal the paper's
+// future work compares against RPKI. Zone signing is operationally
+// independent of routing security, so the two deployments are
+// uncorrelated here by construction.
+func (w *World) maybeSignZone(domain string) {
+	p := w.Cfg.DNSSECBaseProb
+	for tld, boost := range w.Cfg.DNSSECTLDBoost {
+		if strings.HasSuffix(domain, tld) {
+			p = boost
+			break
+		}
+	}
+	if w.rnd.Float64() >= p {
+		return
+	}
+	w.Stats.DomainsDNSSEC++
+	key := make([]byte, 32)
+	w.rnd.Read(key)
+	w.Registry.Add(dns.RR{
+		Name: domain, Type: dns.TypeDNSKEY, TTL: 3600,
+		DNSKEY: &dns.DNSKEYData{Flags: 257, Protocol: 3, Algorithm: 8, PublicKey: key},
+	})
+}
+
+// buildRegularDomain provisions one generated domain.
+func (w *World) buildRegularDomain(rank int, domain string, pools map[string][]cachePoolEntry) {
+	www := "www." + domain
+	w.maybeSignZone(domain)
+
+	// A small fraction of domains answer only with special-purpose
+	// addresses; the pipeline must exclude them (paper: 0.07%).
+	if w.rnd.Float64() < w.Cfg.BogusDNSProb {
+		w.Stats.DomainsBogusDNS++
+		bogus := netip.AddrFrom4([4]byte{127, 0, 0, byte(1 + w.rnd.Intn(200))})
+		if w.rnd.Intn(2) == 0 {
+			bogus = netip.AddrFrom4([4]byte{10, byte(w.rnd.Intn(256)), byte(w.rnd.Intn(256)), 5})
+		}
+		w.Registry.Add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: bogus})
+		w.Registry.Add(dns.RR{Name: www, Type: dns.TypeA, TTL: 300, Addr: bogus})
+		return
+	}
+
+	if w.rnd.Float64() < w.cdnShare(rank) {
+		w.Stats.DomainsCDN++
+		w.buildCDNDomain(rank, domain, pools)
+		return
+	}
+
+	// Origin hosting: servers at a webhoster (or eyeball ISP for the
+	// long tail of self-hosted sites).
+	org := w.orgs.hosters[w.rnd.Intn(len(w.orgs.hosters))]
+	if w.rnd.Float64() < 0.12 {
+		org = w.orgs.isps[w.rnd.Intn(len(w.orgs.isps))]
+	}
+	prefixes := []netip.Prefix{w.v4PrefixOf(org)}
+	if rank <= 10000 && w.rnd.Float64() < w.Cfg.MultiPrefixTopShare {
+		// Prominent sites spread across prefixes — sometimes across a
+		// second organisation, which mixes RPKI postures (Table 1's
+		// partial coverage).
+		extra := 1 + w.rnd.Intn(2)
+		for i := 0; i < extra; i++ {
+			o2 := org
+			if w.rnd.Intn(2) == 0 {
+				o2 = w.orgs.hosters[w.rnd.Intn(len(w.orgs.hosters))]
+			}
+			prefixes = append(prefixes, w.v4PrefixOf(o2))
+		}
+	}
+	var addrs []netip.Addr
+	for _, p := range prefixes {
+		addrs = append(addrs, w.maybeUnreachable(hostAddr(p, 1+w.rnd.Intn(60000))))
+	}
+	for _, a := range addrs {
+		w.Registry.Add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: a})
+	}
+	if v6 := w.v6PrefixOf(org); v6.IsValid() && w.rnd.Float64() < 0.15 {
+		a6 := hostAddr(v6, 1+w.rnd.Intn(60000))
+		w.Registry.Add(dns.RR{Name: domain, Type: dns.TypeAAAA, TTL: 300, Addr: a6})
+	}
+	switch {
+	case w.rnd.Float64() < 0.3:
+		// www as an alias of the apex (one indirection — still below
+		// the paper's two-CNAME CDN threshold).
+		w.Registry.AddCNAME(www, domain, 300)
+	case w.rnd.Float64() < 0.04:
+		// Separate www infrastructure: some operators serve the two
+		// names from different networks entirely, one of Figure 1's
+		// sources of www/apex prefix divergence.
+		o2 := w.orgs.hosters[w.rnd.Intn(len(w.orgs.hosters))]
+		a := w.maybeUnreachable(hostAddr(w.v4PrefixOf(o2), 1+w.rnd.Intn(60000)))
+		w.Registry.Add(dns.RR{Name: www, Type: dns.TypeA, TTL: 300, Addr: a})
+	default:
+		for _, a := range addrs {
+			w.Registry.Add(dns.RR{Name: www, Type: dns.TypeA, TTL: 300, Addr: a})
+		}
+	}
+}
+
+// buildCDNDomain provisions a CDN-served domain: the www variant rides
+// a CNAME chain into the CDN, the apex stays at an origin host because
+// apex names cannot be CNAMEs (RFC 1034) — except for single-CNAME
+// anycast CDNs that front the apex with their own addresses.
+func (w *World) buildCDNDomain(rank int, domain string, pools map[string][]cachePoolEntry) {
+	www := "www." + domain
+	cdnOrg := w.pickCDN()
+	spec := cdnOrg.CDN
+	pool := pools[spec.Name]
+	entry := pool[w.rnd.Intn(len(pool))]
+
+	single := w.rnd.Float64() < w.Cfg.SingleCNAMEShare
+	if single {
+		// www.domain → cache host (one CNAME; the indirection-counting
+		// heuristic misses it, pattern matching does not).
+		w.Registry.AddCNAME(www, entry.host, 300)
+	} else {
+		// www.domain → customer edge name → cache host (two CNAMEs,
+		// like www.huffingtonpost.com → ...edgesuite.net → a495.g...).
+		suffix := spec.ServiceSuffixes[0]
+		edge := www + "." + suffix
+		w.Registry.AddCNAME(www, edge, 300)
+		w.Registry.AddCNAME(edge, entry.host, 300)
+	}
+
+	if single && w.rnd.Float64() < 0.6 {
+		// Anycast CDN fronts the apex too: same cache addresses.
+		for _, a := range entry.addrs {
+			w.Registry.Add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: a})
+		}
+		return
+	}
+	// Apex at the origin host.
+	org := w.orgs.hosters[w.rnd.Intn(len(w.orgs.hosters))]
+	a := w.maybeUnreachable(hostAddr(w.v4PrefixOf(org), 1+w.rnd.Intn(60000)))
+	w.Registry.Add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: a})
+}
+
+// buildFixture realises one Table 1 row structurally.
+func (w *World) buildFixture(ts topSite, fixISPNext *int) error {
+	www := "www." + ts.name
+	coveredPrefix := func() netip.Prefix {
+		p := w.orgs.fixISP.Prefixes[*fixISPNext%len(w.orgs.fixISP.Prefixes)]
+		*fixISPNext++
+		return p
+	}
+	if ts.cdn == "" {
+		// Enterprise hosting from the site's own organisation.
+		org := w.orgs.fixOrgs[ts.name]
+		if org == nil {
+			return fmt.Errorf("webworld: missing fixture org for %s", ts.name)
+		}
+		for i := 0; i < ts.wwwTotal; i++ {
+			a := hostAddr(org.Prefixes[i%len(org.Prefixes)], 10+i)
+			w.Registry.Add(dns.RR{Name: www, Type: dns.TypeA, TTL: 300, Addr: a})
+		}
+		for i := 0; i < ts.apexTotal; i++ {
+			a := hostAddr(org.Prefixes[i%len(org.Prefixes)], 30+i)
+			w.Registry.Add(dns.RR{Name: ts.name, Type: dns.TypeA, TTL: 300, Addr: a})
+		}
+		return nil
+	}
+
+	// CDN-served fixture.
+	var cdnOrg *Org
+	for _, o := range w.orgs.cdns {
+		if o.CDN.Name == ts.cdn {
+			cdnOrg = o
+			break
+		}
+	}
+	if cdnOrg == nil {
+		return fmt.Errorf("webworld: fixture %s references unknown CDN %q", ts.name, ts.cdn)
+	}
+	suffix := cdnOrg.CDN.ServiceSuffixes[0]
+
+	if ts.name == "kickass.to" {
+		// Anycast single-CNAME CDN fronting both variants with ten
+		// prefixes, exactly one RPKI-covered (Table 1: 1/10 and 1/10).
+		cache := "ka." + suffix
+		used := map[netip.Prefix]bool{}
+		var addrs []netip.Addr
+		addrs = append(addrs, hostAddr(coveredPrefix(), 42))
+		for len(addrs) < ts.wwwTotal {
+			p := w.v4PrefixOf(cdnOrg)
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			addrs = append(addrs, hostAddr(p, 42))
+		}
+		for _, a := range addrs {
+			w.Registry.Add(dns.RR{Name: cache, Type: dns.TypeA, TTL: 30, Addr: a})
+			w.Registry.Add(dns.RR{Name: ts.name, Type: dns.TypeA, TTL: 300, Addr: a})
+		}
+		w.Registry.AddCNAME(www, cache, 300)
+		return nil
+	}
+
+	if !ts.noWWW {
+		// www: chain into a dedicated cache host whose addresses mix
+		// one covered third-party prefix with uncovered CDN prefixes.
+		cache := fmt.Sprintf("fx-%s.a.%s", dns.CanonicalName(ts.name), suffix)
+		var addrs []netip.Addr
+		for i := 0; i < ts.wwwCovered; i++ {
+			addrs = append(addrs, hostAddr(coveredPrefix(), 50+i))
+		}
+		used := map[netip.Prefix]bool{}
+		for len(addrs) < ts.wwwTotal {
+			p := w.v4PrefixOf(cdnOrg)
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			addrs = append(addrs, hostAddr(p, 60))
+		}
+		for _, a := range addrs {
+			w.Registry.Add(dns.RR{Name: cache, Type: dns.TypeA, TTL: 30, Addr: a})
+		}
+		edge := www + "." + suffix
+		w.Registry.AddCNAME(www, edge, 300)
+		w.Registry.AddCNAME(edge, cache, 300)
+	}
+
+	// Apex (or the bare cache-domain for the noWWW fixture): covered
+	// prefixes from the signing ISP, uncovered from the legacy hoster
+	// (or the CDN itself for the akamaihd-style cache domain).
+	var apexAddrs []netip.Addr
+	for i := 0; i < ts.apexCovered; i++ {
+		apexAddrs = append(apexAddrs, hostAddr(coveredPrefix(), 70+i))
+	}
+	for i := len(apexAddrs); i < ts.apexTotal; i++ {
+		var p netip.Prefix
+		if ts.noWWW {
+			p = w.v4PrefixOf(cdnOrg)
+		} else {
+			p = w.orgs.fixLegacy.Prefixes[(ts.rank+i)%len(w.orgs.fixLegacy.Prefixes)]
+		}
+		apexAddrs = append(apexAddrs, hostAddr(p, 80+i))
+	}
+	for _, a := range apexAddrs {
+		w.Registry.Add(dns.RR{Name: ts.name, Type: dns.TypeA, TTL: 300, Addr: a})
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package webworld
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// topSite is a fixture for a prominent domain whose hosting profile
+// mirrors a row of the paper's Table 1 (or a named unsecured giant).
+// Coverage counts are per variant: covered prefixes / total prefixes.
+type topSite struct {
+	rank  int
+	name  string
+	noWWW bool
+	// cdn names the CDN serving the www variant ("" = none).
+	cdn string
+	// chainLen is the number of CNAMEs for the www variant when CDN
+	// served (the paper's examples traverse 2).
+	chainLen int
+
+	wwwCovered, wwwTotal   int
+	apexCovered, apexTotal int
+}
+
+// topSites mirrors the published Table 1 plus the "huge international
+// players such as Google" remark (google.com: prominent and unsecured).
+// The generator realises each row structurally: covered prefixes belong
+// to ROA-signing organisations, uncovered ones to abstaining
+// organisations, and CDN-served www variants traverse CNAME chains.
+func topSites() []topSite {
+	return []topSite{
+		{rank: 1, name: "google.com", cdn: "", wwwCovered: 0, wwwTotal: 4, apexCovered: 0, apexTotal: 4},
+		{rank: 2, name: "facebook.com", cdn: "", wwwCovered: 3, wwwTotal: 3, apexCovered: 2, apexTotal: 2},
+		{rank: 70, name: "cdncache1-a.akamaihd.net", noWWW: true, cdn: "akamai", chainLen: 2, apexCovered: 1, apexTotal: 3},
+		{rank: 73, name: "huffingtonpost.com", cdn: "akamai", chainLen: 2, wwwCovered: 1, wwwTotal: 3, apexCovered: 0, apexTotal: 3},
+		{rank: 92, name: "cnet.com", cdn: "akamai", chainLen: 2, wwwCovered: 1, wwwTotal: 3, apexCovered: 0, apexTotal: 2},
+		{rank: 95, name: "dailymail.co.uk", cdn: "edgecast", chainLen: 2, wwwCovered: 1, wwwTotal: 3, apexCovered: 0, apexTotal: 1},
+		{rank: 117, name: "indiatimes.com", cdn: "akamai", chainLen: 2, wwwCovered: 1, wwwTotal: 3, apexCovered: 0, apexTotal: 1},
+		{rank: 120, name: "kickass.to", cdn: "cloudflare", chainLen: 2, wwwCovered: 1, wwwTotal: 10, apexCovered: 1, apexTotal: 10},
+		{rank: 130, name: "booking.com", cdn: "", wwwCovered: 4, wwwTotal: 4, apexCovered: 2, apexTotal: 2},
+	}
+}
+
+var nameSyllables = []string{
+	"ba", "be", "bo", "ca", "ce", "co", "da", "di", "do", "fa", "fi", "ga",
+	"go", "ha", "ka", "ki", "la", "le", "lo", "ma", "me", "mi", "mo", "na",
+	"ne", "no", "pa", "pe", "po", "ra", "re", "ro", "sa", "se", "so", "ta",
+	"te", "to", "va", "vi", "wa", "wo", "ya", "za", "zu",
+}
+
+var tlds = []string{
+	".com", ".com", ".com", ".com", ".net", ".org", ".de", ".ru", ".co.uk",
+	".info", ".fr", ".it", ".nl", ".pl", ".br", ".jp", ".in", ".io",
+}
+
+// randomDomain builds a pronounceable unique domain for the given rank.
+// Uniqueness comes from embedding the rank in the syllable choice, with
+// random decoration.
+func randomDomain(rnd *rand.Rand, rank int) string {
+	var sb strings.Builder
+	n := rank
+	for i := 0; i < 3; i++ {
+		sb.WriteString(nameSyllables[n%len(nameSyllables)])
+		n /= len(nameSyllables)
+	}
+	if n > 0 {
+		fmt.Fprintf(&sb, "%d", n)
+	}
+	if rnd.Intn(4) == 0 {
+		sb.WriteString(nameSyllables[rnd.Intn(len(nameSyllables))])
+	}
+	sb.WriteString(tlds[rnd.Intn(len(tlds))])
+	return sb.String()
+}
+
+// domainNames produces the ranked population: fixtures at their pinned
+// ranks, generated names elsewhere.
+func domainNames(rnd *rand.Rand, total int) []string {
+	out := make([]string, total)
+	for _, ts := range topSites() {
+		if ts.rank-1 < total {
+			out[ts.rank-1] = ts.name
+		}
+	}
+	for i := range out {
+		if out[i] == "" {
+			out[i] = randomDomain(rnd, i+1)
+		}
+	}
+	return out
+}
+
+// cacheHost builds a CDN cache hostname like "e1234.g.edgesuite.wld".
+func cacheHost(rnd *rand.Rand, suffix string) string {
+	return fmt.Sprintf("e%04d.%c.%s", rnd.Intn(10000), 'a'+rune(rnd.Intn(6)), suffix)
+}

@@ -1,0 +1,336 @@
+package webworld
+
+import (
+	"math"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"ripki/internal/dns"
+	"ripki/internal/netutil"
+	"ripki/internal/rpki/vrp"
+)
+
+// smallWorld generates a modest world once per test binary.
+var smallWorldCache *World
+
+func smallWorld(t *testing.T) *World {
+	t.Helper()
+	if smallWorldCache != nil {
+		return smallWorldCache
+	}
+	w, err := Generate(Config{Seed: 1, Domains: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallWorldCache = w
+	return w
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w1, err := Generate(Config{Seed: 7, Domains: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(Config{Seed: 7, Domains: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.List.Len() != w2.List.Len() {
+		t.Fatal("list lengths differ")
+	}
+	for i, e := range w1.List.Entries() {
+		if w2.List.Entries()[i].Domain != e.Domain {
+			t.Fatalf("rank %d: %q vs %q", e.Rank, e.Domain, w2.List.Entries()[i].Domain)
+		}
+	}
+	if w1.RIB.Len() != w2.RIB.Len() || w1.Registry.Len() != w2.Registry.Len() {
+		t.Error("infrastructure differs between identical seeds")
+	}
+	if w1.Stats != w2.Stats {
+		t.Errorf("stats differ: %+v vs %+v", w1.Stats, w2.Stats)
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	w1, _ := Generate(Config{Seed: 1, Domains: 1000})
+	w2, _ := Generate(Config{Seed: 2, Domains: 1000})
+	same := 0
+	for i := range w1.List.Entries() {
+		if w1.List.Entries()[i].Domain == w2.List.Entries()[i].Domain {
+			same++
+		}
+	}
+	// Fixtures coincide; generated names should mostly differ.
+	if same > w1.List.Len()/2 {
+		t.Errorf("%d of %d domains identical across seeds", same, w1.List.Len())
+	}
+}
+
+func TestRPKIRepositoryValidates(t *testing.T) {
+	w := smallWorld(t)
+	res := w.Repo.Validate(w.MeasureTime())
+	if len(res.Problems) != 0 {
+		t.Fatalf("validation problems: %v", res.Problems[:min(5, len(res.Problems))])
+	}
+	if res.ROAsValid != res.ROAsSeen || res.ROAsSeen == 0 {
+		t.Fatalf("ROAs seen/valid = %d/%d", res.ROAsSeen, res.ROAsValid)
+	}
+	if res.VRPs.Len() == 0 {
+		t.Fatal("no VRPs")
+	}
+	if w.Stats.ROAsIssued != res.ROAsSeen {
+		t.Errorf("issued %d ROAs, validator saw %d", w.Stats.ROAsIssued, res.ROAsSeen)
+	}
+}
+
+func TestCDNASRegistryShape(t *testing.T) {
+	w := smallWorld(t)
+	// §4.2: keyword spotting over the AS registry must find 199 CDN
+	// ASes for the default roster.
+	cdnASes := 0
+	internapASes := 0
+	for _, info := range w.ASRegistry {
+		for _, spec := range w.Cfg.CDNs {
+			if strings.Contains(info.Name, strings.ToUpper(spec.Name)) {
+				cdnASes++
+				if spec.Name == "internap" {
+					internapASes++
+				}
+				break
+			}
+		}
+	}
+	if cdnASes != 199 {
+		t.Errorf("CDN ASes = %d, want 199", cdnASes)
+	}
+	if internapASes != 41 {
+		t.Errorf("internap ASes = %d, want 41", internapASes)
+	}
+}
+
+func TestInternapExceptionInVRPs(t *testing.T) {
+	w := smallWorld(t)
+	res := w.Repo.Validate(w.MeasureTime())
+	var internap *Org
+	for _, o := range w.Orgs {
+		if o.CDN != nil && o.CDN.Name == "internap" {
+			internap = o
+		}
+	}
+	if internap == nil {
+		t.Fatal("no internap org")
+	}
+	asnSet := make(map[uint32]bool)
+	for _, asn := range internap.ASNs {
+		asnSet[asn] = true
+	}
+	prefixes := make(map[netip.Prefix]bool)
+	origins := make(map[uint32]bool)
+	for _, v := range res.VRPs.All() {
+		if asnSet[v.ASN] {
+			prefixes[v.Prefix] = true
+			origins[v.ASN] = true
+		}
+	}
+	if len(prefixes) != 4 {
+		t.Errorf("internap RPKI prefixes = %d, want 4", len(prefixes))
+	}
+	if len(origins) != 3 {
+		t.Errorf("internap origin ASes = %d, want 3", len(origins))
+	}
+	// No other CDN appears in the RPKI.
+	for _, o := range w.Orgs {
+		if o.Kind != KindCDN || o == internap {
+			continue
+		}
+		for _, asn := range o.ASNs {
+			if res.VRPs.HasASN(asn) {
+				t.Errorf("CDN %s AS%d appears in the RPKI", o.Name, asn)
+			}
+		}
+	}
+}
+
+func TestFixtureFacebookFullCoverage(t *testing.T) {
+	w := smallWorld(t)
+	res := w.Repo.Validate(w.MeasureTime())
+	check := func(name string, wantAddrs int, wantValid int) {
+		t.Helper()
+		r, err := dns.RegistryResolver{Registry: w.Registry}.LookupWeb(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Addrs) != wantAddrs {
+			t.Fatalf("%s resolved to %d addresses, want %d", name, len(r.Addrs), wantAddrs)
+		}
+		valid := 0
+		for _, a := range r.Addrs {
+			for _, po := range w.RIB.OriginPairs(a) {
+				if res.VRPs.Validate(po.Prefix, po.Origin) == vrp.Valid {
+					valid++
+				}
+			}
+		}
+		if valid != wantValid {
+			t.Errorf("%s: %d valid pairs, want %d", name, valid, wantValid)
+		}
+	}
+	check("www.facebook.com", 3, 3)
+	check("facebook.com", 2, 2)
+	check("www.google.com", 4, 0)
+	check("google.com", 4, 0)
+	check("www.booking.com", 4, 4)
+	check("booking.com", 2, 2)
+}
+
+func TestFixtureCDNPartialCoverage(t *testing.T) {
+	w := smallWorld(t)
+	res := w.Repo.Validate(w.MeasureTime())
+	r, err := dns.RegistryResolver{Registry: w.Registry}.LookupWeb("www.huffingtonpost.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CNAMECount() != 2 {
+		t.Errorf("www.huffingtonpost.com CNAMEs = %d, want 2", r.CNAMECount())
+	}
+	if len(r.Addrs) != 3 {
+		t.Fatalf("www.huffingtonpost.com addrs = %d, want 3", len(r.Addrs))
+	}
+	covered := 0
+	for _, a := range r.Addrs {
+		for _, po := range w.RIB.OriginPairs(a) {
+			if res.VRPs.Validate(po.Prefix, po.Origin) != vrp.NotFound {
+				covered++
+			}
+		}
+	}
+	if covered != 1 {
+		t.Errorf("www.huffingtonpost.com covered pairs = %d, want 1", covered)
+	}
+	// Apex: no CNAMEs, no coverage.
+	r, err = dns.RegistryResolver{Registry: w.Registry}.LookupWeb("huffingtonpost.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CNAMECount() != 0 {
+		t.Errorf("apex CNAMEs = %d", r.CNAMECount())
+	}
+	covered = 0
+	for _, a := range r.Addrs {
+		for _, po := range w.RIB.OriginPairs(a) {
+			if res.VRPs.Validate(po.Prefix, po.Origin) != vrp.NotFound {
+				covered++
+			}
+		}
+	}
+	if covered != 0 {
+		t.Errorf("apex covered pairs = %d, want 0", covered)
+	}
+	// The noWWW fixture really has no www.
+	r, _ = dns.RegistryResolver{Registry: w.Registry}.LookupWeb("www.cdncache1-a.akamaihd.net")
+	if !r.NXDomain {
+		t.Error("www.cdncache1-a.akamaihd.net exists")
+	}
+}
+
+func TestCDNShareDecreasesWithRank(t *testing.T) {
+	w := smallWorld(t)
+	if w.cdnShare(1) < w.cdnShare(w.Cfg.Domains) {
+		t.Error("CDN share not decreasing")
+	}
+	if math.Abs(w.cdnShare(1)-w.Cfg.CDNShareTop) > 0.01 {
+		t.Errorf("top share = %v", w.cdnShare(1))
+	}
+	if math.Abs(w.cdnShare(w.Cfg.Domains)-w.Cfg.CDNShareTail) > 0.01 {
+		t.Errorf("tail share = %v", w.cdnShare(w.Cfg.Domains))
+	}
+}
+
+func TestMostResolvedAddressesAreRouted(t *testing.T) {
+	w := smallWorld(t)
+	resolver := dns.RegistryResolver{Registry: w.Registry}
+	routed, unrouted, special := 0, 0, 0
+	for _, e := range w.List.Top(2000).Entries() {
+		for _, name := range []string{e.Domain, "www." + e.Domain} {
+			r, err := resolver.LookupWeb(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range r.Addrs {
+				switch {
+				case netutil.IsSpecialPurpose(a):
+					special++
+				case w.RIB.Reachable(a):
+					routed++
+				default:
+					unrouted++
+				}
+			}
+		}
+	}
+	if routed == 0 {
+		t.Fatal("no routed addresses at all")
+	}
+	if frac := float64(unrouted) / float64(routed+unrouted); frac > 0.01 {
+		t.Errorf("unrouted fraction = %v, want < 1%%", frac)
+	}
+}
+
+func TestSignedPrefixShareNearPolicy(t *testing.T) {
+	w := smallWorld(t)
+	// Only count non-fixture hoster/ISP organisations.
+	signed, total := 0, 0
+	for _, o := range w.Orgs {
+		if o.fixture || (o.Kind != KindHoster && o.Kind != KindISP) {
+			continue
+		}
+		total++
+		if o.SignsROAs {
+			signed++
+		}
+	}
+	frac := float64(signed) / float64(total)
+	if frac < 0.01 || frac > 0.15 {
+		t.Errorf("signing org share = %v (want around %v)", frac, w.Cfg.HosterROAProb)
+	}
+}
+
+func TestStatsPlausible(t *testing.T) {
+	w := smallWorld(t)
+	s := w.Stats
+	if s.PrefixesTotal == 0 || s.ROAsIssued == 0 || s.DomainsCDN == 0 {
+		t.Fatalf("stats look empty: %+v", s)
+	}
+	// CDN adoption overall should sit between the tail and top anchors.
+	frac := float64(s.DomainsCDN) / float64(w.Cfg.Domains)
+	if frac < w.Cfg.CDNShareTail || frac > w.Cfg.CDNShareTop {
+		t.Errorf("CDN domain share = %v", frac)
+	}
+	// Third-party cache placement near the configured share.
+	tp := float64(s.CacheInThirdParty) / float64(s.CacheInThirdParty+s.CacheInCDNNetwork)
+	if math.Abs(tp-w.Cfg.ThirdPartyCacheShare) > 0.05 {
+		t.Errorf("third-party cache share = %v, want ≈ %v", tp, w.Cfg.ThirdPartyCacheShare)
+	}
+}
+
+func TestOrgOfPrefix(t *testing.T) {
+	w := smallWorld(t)
+	for _, o := range w.Orgs[:5] {
+		for _, p := range o.Prefixes {
+			if w.OrgOfPrefix(p) != o {
+				t.Fatalf("OrgOfPrefix(%v) wrong", p)
+			}
+		}
+	}
+	if w.OrgOfPrefix(netutil.MustPrefix("192.0.2.0/24")) != nil {
+		t.Error("OrgOfPrefix of foreign prefix not nil")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,359 @@
+// Package webworld generates the synthetic web ecosystem the
+// measurement pipeline studies: organisations (ISPs, webhosters,
+// enterprises, and the paper's sixteen CDNs), RIR number-resource
+// allocation, BGP announcements into a collector RIB, RPKI ROA
+// issuance according to per-stakeholder policies, and the DNS zones of
+// a ranked domain population.
+//
+// The paper measured the live Internet; this package is the offline
+// substitute. Crucially, the paper's findings are not painted onto the
+// output — they emerge from three structural facts encoded here:
+//
+//  1. CDN adoption grows with site popularity (Figure 3's cause),
+//  2. apex domains cannot be CNAMEs, so CDN customers serve "www"
+//     from the CDN but the bare domain from the origin host (Figure 1's
+//     and Table 1's cause), and
+//  3. ROA creation is an organisation-level policy that webhosters and
+//     ISPs sometimes adopt and CDNs (except an Internap-like one) do
+//     not (Figures 2 and 4 and §4.2's cause).
+//
+// Everything is deterministic given Config.Seed.
+package webworld
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"ripki/internal/alexa"
+	"ripki/internal/dns"
+	"ripki/internal/rib"
+	"ripki/internal/rpki/repo"
+)
+
+// CDNSpec describes one content delivery network.
+type CDNSpec struct {
+	// Name is the lower-case operator name used for keyword spotting.
+	Name string
+	// ASCount is how many ASes the operator runs.
+	ASCount int
+	// Weight is the relative probability a CDN-hosted domain uses this
+	// CDN.
+	Weight float64
+	// ServiceSuffixes are the DNS suffixes of the CDN's delivery
+	// platform (the strings HTTPArchive-style classifiers match).
+	ServiceSuffixes []string
+	// SignsROAs marks the Internap-like exception that created a
+	// handful of ROAs; everyone else abstains (§4.2).
+	SignsROAs bool
+	// SignedPrefixes and SignedASes bound the exception's deployment
+	// (the paper found 4 prefixes tied to 3 origin ASes).
+	SignedPrefixes, SignedASes int
+}
+
+// DefaultCDNs is the paper's §4.2 list: "Akamai, Amazon, Cdnetworks,
+// Chinacache, Chinanet, Cloudflare, Cotendo, Edgecast, Highwinds,
+// Instart, Internap, Limelight, Mirrorimage, Netdna, Simplecdn, and
+// Yottaa", with AS counts summing to the 199 ASes the paper discovered
+// and Internap's 41 ASes called out explicitly.
+func DefaultCDNs() []CDNSpec {
+	return []CDNSpec{
+		{Name: "akamai", ASCount: 36, Weight: 0.28, ServiceSuffixes: []string{"edgesuite.wld", "edgekey.wld", "akamaized.wld"}},
+		{Name: "amazon", ASCount: 18, Weight: 0.20, ServiceSuffixes: []string{"cloudfront.wld", "awsdns.wld"}},
+		{Name: "cdnetworks", ASCount: 8, Weight: 0.04, ServiceSuffixes: []string{"cdngc.wld"}},
+		{Name: "chinacache", ASCount: 10, Weight: 0.03, ServiceSuffixes: []string{"ccgslb.wld"}},
+		{Name: "chinanet", ASCount: 22, Weight: 0.05, ServiceSuffixes: []string{"chinanetcenter.wld"}},
+		{Name: "cloudflare", ASCount: 6, Weight: 0.14, ServiceSuffixes: []string{"cdnsun-cf.wld", "cloudflarecdn.wld"}},
+		{Name: "cotendo", ASCount: 4, Weight: 0.02, ServiceSuffixes: []string{"cotcdn.wld"}},
+		{Name: "edgecast", ASCount: 9, Weight: 0.06, ServiceSuffixes: []string{"edgecastcdn.wld"}},
+		{Name: "highwinds", ASCount: 6, Weight: 0.02, ServiceSuffixes: []string{"hwcdn.wld"}},
+		{Name: "instart", ASCount: 3, Weight: 0.01, ServiceSuffixes: []string{"insnw.wld"}},
+		{Name: "internap", ASCount: 41, Weight: 0.03, ServiceSuffixes: []string{"internapcdn.wld"}, SignsROAs: true, SignedPrefixes: 4, SignedASes: 3},
+		{Name: "limelight", ASCount: 12, Weight: 0.05, ServiceSuffixes: []string{"llnwd.wld"}},
+		{Name: "mirrorimage", ASCount: 5, Weight: 0.01, ServiceSuffixes: []string{"mirror-image.wld"}},
+		{Name: "netdna", ASCount: 7, Weight: 0.03, ServiceSuffixes: []string{"netdna-cdn.wld"}},
+		{Name: "simplecdn", ASCount: 4, Weight: 0.01, ServiceSuffixes: []string{"simplecdn.wld"}},
+		{Name: "yottaa", ASCount: 8, Weight: 0.02, ServiceSuffixes: []string{"yottaa.wld"}},
+	}
+}
+
+// Config parameterises world generation. The zero value is completed by
+// Defaults; every probability has the calibration that reproduces the
+// paper's observed magnitudes.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal worlds.
+	Seed int64
+	// Domains is the size of the ranked list (paper: 1,000,000).
+	Domains int
+	// Clock is the world's creation time; Epoch+30d is the usual
+	// measurement time.
+	Clock time.Time
+	// TTL is the validity window of RPKI objects.
+	TTL time.Duration
+
+	// Hosters and ISPs scale the infrastructure population.
+	Hosters int
+	ISPs    int
+
+	// CDNs is the CDN roster (DefaultCDNs if nil).
+	CDNs []CDNSpec
+
+	// HosterROAProb is the probability a webhoster or ISP organisation
+	// creates ROAs for all its prefixes. The paper reports >5%
+	// penetration for these stakeholders and ~6% of web prefixes
+	// covered overall.
+	HosterROAProb float64
+	// MisconfigProb is the probability a ROA-signing organisation
+	// botches one of its ROAs (wrong origin AS), producing the ~0.09%
+	// invalid announcements the paper observes, evenly across ranks.
+	MisconfigProb float64
+	// CDNShareTop and CDNShareTail anchor the convex-in-log-rank CDN
+	// adoption curve (Figure 3: ~30% at the top ranks, a few percent in
+	// the tail).
+	CDNShareTop, CDNShareTail float64
+	// ThirdPartyCacheShare is the fraction of CDN cache deployments
+	// placed in third-party eyeball ISP networks ("CDN servers that are
+	// placed in third party networks benefit from RPKI deployment that
+	// these networks perform").
+	ThirdPartyCacheShare float64
+	// SingleCNAMEShare is the fraction of CDN customers whose delivery
+	// uses a single CNAME rather than a 2+ chain; the paper's
+	// indirection-counting heuristic misses these while the
+	// HTTPArchive-style pattern matcher catches them (Figure 3's gap).
+	SingleCNAMEShare float64
+	// BogusDNSProb is the probability a domain resolves only to IANA
+	// special-purpose addresses (paper: 0.07% of answers excluded).
+	BogusDNSProb float64
+	// UnreachableProb is the probability a server address comes from an
+	// allocated but unannounced prefix (paper: 0.01% of addresses).
+	UnreachableProb float64
+	// MultiPrefixTopShare is the probability a top-10k non-CDN domain
+	// is served from several prefixes (availability engineering at
+	// prominent sites).
+	MultiPrefixTopShare float64
+	// BackupArrangements is the number of confidential standby setups
+	// (one organisation authorising another's AS on one of its
+	// prefixes) planted in the RPKI — the business relations §5.2
+	// warns the RPKI exposes "in advance". Negative disables; zero
+	// means the default of 3.
+	BackupArrangements int
+	// DNSSECBaseProb is the probability a domain's zone is DNSSEC
+	// signed (a DNSKEY at the apex). The paper's future work compares
+	// RPKI with DNSSEC adoption; roughly 2-3% of zones were signed in
+	// 2015, with strong ccTLD effects modelled via DNSSECTLDBoost.
+	DNSSECBaseProb float64
+	// DNSSECTLDBoost maps TLD suffixes to elevated signing
+	// probabilities (nil gets the 2015-flavoured default: .nl/.se/.cz
+	// signed far above the base rate).
+	DNSSECTLDBoost map[string]float64
+}
+
+// Defaults fills unset fields with the calibrated defaults.
+func (c Config) Defaults() Config {
+	if c.Domains == 0 {
+		c.Domains = 1000000
+	}
+	if c.Clock.IsZero() {
+		c.Clock = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.TTL == 0 {
+		c.TTL = 365 * 24 * time.Hour
+	}
+	if c.Hosters == 0 {
+		c.Hosters = clamp(c.Domains/2500, 80, 400)
+	}
+	if c.ISPs == 0 {
+		c.ISPs = clamp(c.Domains/2000, 120, 500)
+	}
+	if c.CDNs == nil {
+		c.CDNs = DefaultCDNs()
+	}
+	if c.HosterROAProb == 0 {
+		c.HosterROAProb = 0.062
+	}
+	if c.MisconfigProb == 0 {
+		c.MisconfigProb = 0.015
+	}
+	if c.CDNShareTop == 0 {
+		c.CDNShareTop = 0.30
+	}
+	if c.CDNShareTail == 0 {
+		c.CDNShareTail = 0.02
+	}
+	if c.ThirdPartyCacheShare == 0 {
+		c.ThirdPartyCacheShare = 0.15
+	}
+	if c.SingleCNAMEShare == 0 {
+		c.SingleCNAMEShare = 0.35
+	}
+	if c.BogusDNSProb == 0 {
+		c.BogusDNSProb = 0.0007
+	}
+	if c.UnreachableProb == 0 {
+		c.UnreachableProb = 0.0001
+	}
+	if c.MultiPrefixTopShare == 0 {
+		c.MultiPrefixTopShare = 0.35
+	}
+	if c.BackupArrangements == 0 {
+		c.BackupArrangements = 3
+	}
+	if c.BackupArrangements < 0 {
+		c.BackupArrangements = 0
+	}
+	if c.DNSSECBaseProb == 0 {
+		c.DNSSECBaseProb = 0.022
+	}
+	if c.DNSSECTLDBoost == nil {
+		c.DNSSECTLDBoost = map[string]float64{
+			".nl": 0.30, ".se": 0.40, ".cz": 0.35, ".fr": 0.08,
+		}
+	}
+	return c
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// OrgKind classifies organisations.
+type OrgKind uint8
+
+const (
+	// KindHoster is a webhosting company.
+	KindHoster OrgKind = iota
+	// KindISP is an access or transit network operator.
+	KindISP
+	// KindCDN is a content delivery network.
+	KindCDN
+	// KindEnterprise is a content owner running its own network
+	// (e.g. the Facebook-like fixture).
+	KindEnterprise
+)
+
+// String names the kind.
+func (k OrgKind) String() string {
+	switch k {
+	case KindHoster:
+		return "hoster"
+	case KindISP:
+		return "isp"
+	case KindCDN:
+		return "cdn"
+	case KindEnterprise:
+		return "enterprise"
+	default:
+		return fmt.Sprintf("OrgKind(%d)", uint8(k))
+	}
+}
+
+// Org is one organisation: an owner of ASes and prefixes and, possibly,
+// a ROA-signing RPKI member.
+type Org struct {
+	Name      string
+	Kind      OrgKind
+	RIR       string
+	ASNs      []uint32
+	Prefixes  []netip.Prefix
+	SignsROAs bool
+	// CDN points at the spec when Kind == KindCDN.
+	CDN *CDNSpec
+	// fixture marks organisations backing the Table 1 fixtures, which
+	// are exempt from random ROA misconfiguration so the table stays
+	// deterministic.
+	fixture bool
+}
+
+// PlantedBackup is one confidential standby setup written into the
+// RPKI: the owner organisation's prefix additionally authorises the
+// standby organisation's AS.
+type PlantedBackup struct {
+	OwnerOrg   string
+	StandbyOrg string
+	Prefix     netip.Prefix
+	StandbyASN uint32
+}
+
+// ASInfo is one row of the world's AS assignment registry (the "common
+// AS assignment lists" the paper applies keyword spotting to).
+type ASInfo struct {
+	ASN  uint32
+	Name string // upper-case registry description, e.g. "AKAMAI-AS3"
+	Org  string
+}
+
+// World is a fully generated ecosystem.
+type World struct {
+	Cfg Config
+
+	// List is the ranked domain population (the Alexa substitute).
+	List *alexa.List
+	// Registry holds every DNS record of every zone.
+	Registry *dns.Registry
+	// RIB is the collector's routing table (the RIS substitute).
+	RIB *rib.Table
+	// Repo is the RPKI (5 trust anchors, CAs, ROAs).
+	Repo *repo.Repository
+	// Orgs is every organisation.
+	Orgs []*Org
+	// ASRegistry is the AS assignment list for keyword spotting.
+	ASRegistry []ASInfo
+
+	// CDNSuffixes maps each CDN name to its service-domain suffixes,
+	// for pattern-based classification.
+	CDNSuffixes map[string][]string
+
+	rnd   *rand.Rand
+	alloc *allocator
+	orgs  *worldOrgs
+	// prefixOrg maps each allocated prefix to its owner, for tests and
+	// diagnostics.
+	prefixOrg map[netip.Prefix]*Org
+	// pinnedOrigin fixes the announcing AS per prefix so ROAs and
+	// announcements agree.
+	pinnedOrigin map[netip.Prefix]uint32
+	// subOf maps each more-specific announcement to its covering
+	// aggregate.
+	subOf map[netip.Prefix]netip.Prefix
+	// cleanSigned lists each organisation's correctly ROA-signed IPv4
+	// prefixes, the candidates for backup arrangements.
+	cleanSigned map[*Org][]netip.Prefix
+	// PlantedBackups records the confidential standby setups written
+	// into the RPKI (owner org, standby org, prefix), so experiments
+	// can check the §5.2 exposure analysis finds exactly these.
+	PlantedBackups []PlantedBackup
+	// stats collected during generation.
+	Stats Stats
+}
+
+// Stats records generation-time tallies used by tests and reports.
+type Stats struct {
+	PrefixesTotal     int
+	PrefixesSigned    int
+	ROAsIssued        int
+	ROAsMisconfigured int
+	DomainsCDN        int
+	DomainsBogusDNS   int
+	DomainsDNSSEC     int
+	AddrsUnreachable  int
+	CacheInThirdParty int
+	CacheInCDNNetwork int
+}
+
+// MeasureTime returns the canonical measurement instant for this world
+// (30 days after creation, well inside every validity window).
+func (w *World) MeasureTime() time.Time {
+	return w.Cfg.Clock.Add(30 * 24 * time.Hour)
+}
+
+// OrgOfPrefix returns the owner of a generated prefix, if any.
+func (w *World) OrgOfPrefix(p netip.Prefix) *Org {
+	return w.prefixOrg[p]
+}

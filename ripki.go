@@ -1,0 +1,232 @@
+// Package ripki reproduces "RiPKI: The Tragic Story of RPKI Deployment
+// in the Web Ecosystem" (Wählisch et al., ACM HotNets 2015).
+//
+// The paper measures how much of the web's hosting infrastructure is
+// protected by RPKI prefix origin validation, and finds that popular,
+// CDN-hosted websites are *less* protected than obscure ones. This
+// module rebuilds the full measurement stack — DNS, BGP, MRT, RPKI
+// (certificates, ROAs, relying-party validation), the RPKI-to-Router
+// protocol, and a synthetic web ecosystem standing in for the live
+// Internet — and re-runs the paper's methodology end to end.
+//
+// The simplest entry point is Study:
+//
+//	study, err := ripki.NewStudy(ripki.StudyConfig{Domains: 100000, Seed: 1})
+//	...
+//	fig := study.Figure2(ripki.VariantWWW)
+//	fig.WriteTSV(os.Stdout)
+//
+// Lower-level building blocks live in the internal packages and are
+// surfaced here only as far as downstream users need them: the world
+// generator, the measurement dataset, origin validation, and RTR
+// serving.
+package ripki
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+
+	"ripki/internal/dns"
+	"ripki/internal/httparchive"
+	"ripki/internal/measure"
+	"ripki/internal/rpki/repo"
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/rtr"
+	"ripki/internal/stats"
+	"ripki/internal/webworld"
+)
+
+// Re-exported result types, so callers need only this package.
+type (
+	// Figure is a named set of data series (one paper figure).
+	Figure = stats.Figure
+	// Table is a labelled text table (one paper table).
+	Table = stats.Table
+	// Dataset is the full measurement output.
+	Dataset = measure.Dataset
+	// DomainResult is one domain's measurement.
+	DomainResult = measure.DomainResult
+	// WorldConfig parameterises the synthetic ecosystem.
+	WorldConfig = webworld.Config
+	// World is the generated ecosystem.
+	World = webworld.World
+	// VRP is one validated ROA payload.
+	VRP = vrp.VRP
+	// State is an RFC 6811 validation outcome.
+	State = vrp.State
+	// Variant selects the www or w/o-www name.
+	Variant = measure.Variant
+	// CDNStudyRow is one CDN's RPKI engagement summary.
+	CDNStudyRow = measure.CDNStudyRow
+)
+
+// Validation states.
+const (
+	StateNotFound = vrp.NotFound
+	StateValid    = vrp.Valid
+	StateInvalid  = vrp.Invalid
+)
+
+// Name variants.
+const (
+	VariantWWW  = measure.VariantWWW
+	VariantApex = measure.VariantApex
+)
+
+// StudyConfig configures an end-to-end reproduction run.
+type StudyConfig struct {
+	// Domains is the ranked-list size (default 1,000,000 — the paper's
+	// scale; use less for quick runs).
+	Domains int
+	// Seed drives the deterministic world generation.
+	Seed int64
+	// BinWidth groups ranks in figures (default 10,000, as the paper).
+	BinWidth int
+	// CDNThreshold is the CNAME-indirection cutoff (default 2).
+	CDNThreshold int
+	// HTTPArchiveLimit bounds the pattern classifier's corpus; the
+	// default scales the paper's 300k/1M proportionally to Domains.
+	HTTPArchiveLimit int
+	// DNSSEC additionally measures DNSSEC zone signing per domain (the
+	// paper's stated future-work comparison).
+	DNSSEC bool
+	// World overrides the full world configuration; Domains/Seed above
+	// are ignored when set.
+	World *WorldConfig
+}
+
+// Study is a completed end-to-end run: the generated world, the
+// validated RPKI payloads, and the measured dataset.
+type Study struct {
+	World      *World
+	VRPs       *vrp.Set
+	Validation *repo.ValidationResult
+	Dataset    *Dataset
+}
+
+// NewStudy generates a world, validates its RPKI repository, and runs
+// the paper's four-step methodology over the ranked domain list.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	wcfg := webworld.Config{Seed: cfg.Seed, Domains: cfg.Domains}
+	if cfg.World != nil {
+		wcfg = *cfg.World
+	}
+	world, err := webworld.Generate(wcfg)
+	if err != nil {
+		return nil, fmt.Errorf("ripki: generating world: %w", err)
+	}
+	return NewStudyFromWorld(world, cfg)
+}
+
+// NewStudyFromWorld runs the pipeline over an existing world.
+func NewStudyFromWorld(world *World, cfg StudyConfig) (*Study, error) {
+	validation := world.Repo.Validate(world.MeasureTime())
+	ha := httparchive.New(world.CDNSuffixes)
+	if cfg.HTTPArchiveLimit > 0 {
+		ha.Limit = cfg.HTTPArchiveLimit
+	} else {
+		// Scale the paper's 300k-of-1M corpus to this world.
+		ha.Limit = world.Cfg.Domains * 3 / 10
+	}
+	binWidth := cfg.BinWidth
+	if binWidth == 0 {
+		// Scale the paper's 10k-of-1M binning to this world.
+		binWidth = world.Cfg.Domains / 100
+		if binWidth == 0 {
+			binWidth = 1
+		}
+	}
+	ds, err := measure.Run(world.List, measure.Config{
+		Resolver:     dns.RegistryResolver{Registry: world.Registry},
+		RIB:          world.RIB,
+		VRPs:         validation.VRPs,
+		HTTPArchive:  ha,
+		BinWidth:     binWidth,
+		CDNThreshold: cfg.CDNThreshold,
+		DNSSEC:       cfg.DNSSEC,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ripki: measuring: %w", err)
+	}
+	return &Study{
+		World:      world,
+		VRPs:       validation.VRPs,
+		Validation: validation,
+		Dataset:    ds,
+	}, nil
+}
+
+// Figure1 is the www vs w/o-www prefix-equality comparison.
+func (s *Study) Figure1() *Figure { return s.Dataset.Figure1() }
+
+// Figure2 is the RPKI validation outcome by rank.
+func (s *Study) Figure2(v Variant) *Figure { return s.Dataset.Figure2(v) }
+
+// Figure3 compares the two CDN detection heuristics.
+func (s *Study) Figure3() *Figure { return s.Dataset.Figure3() }
+
+// Figure4 compares RPKI deployment overall vs CDN-hosted.
+func (s *Study) Figure4(v Variant) *Figure { return s.Dataset.Figure4(v) }
+
+// FigureDNSSEC compares DNSSEC and RPKI adoption by rank (requires
+// StudyConfig.DNSSEC).
+func (s *Study) FigureDNSSEC(v Variant) *Figure { return s.Dataset.FigureDNSSEC(v) }
+
+// Table1 lists the top-ranked domains with any RPKI coverage.
+func (s *Study) Table1(n int) *Table { return s.Dataset.Table1(n) }
+
+// Summary prints the dataset headline counts.
+func (s *Study) Summary() *Table { return s.Dataset.Summary() }
+
+// CDNStudy runs the §4.2 keyword-spotting analysis.
+func (s *Study) CDNStudy() []CDNStudyRow {
+	names := make([]string, 0, len(s.World.Cfg.CDNs))
+	for _, spec := range s.World.Cfg.CDNs {
+		names = append(names, spec.Name)
+	}
+	reg := make([]measure.ASRegistryEntry, 0, len(s.World.ASRegistry))
+	for _, e := range s.World.ASRegistry {
+		reg = append(reg, measure.ASRegistryEntry{ASN: e.ASN, Name: e.Name})
+	}
+	return measure.CDNStudy(names, reg, s.VRPs)
+}
+
+// CDNStudyTable renders the study rows.
+func CDNStudyTable(rows []CDNStudyRow) *Table { return measure.CDNStudyTable(rows) }
+
+// ExposedRelation is one business relationship readable from the RPKI.
+type ExposedRelation = measure.ExposedRelation
+
+// ExposedRelations runs the §5.2 analysis: which business relations
+// does the public RPKI disclose? (One of the paper's explanations for
+// why operators hesitate to deploy.)
+func (s *Study) ExposedRelations() []ExposedRelation {
+	reg := make([]measure.ASRegistryEntry, 0, len(s.World.ASRegistry))
+	byASN := make(map[uint32]string, len(s.World.ASRegistry))
+	for _, e := range s.World.ASRegistry {
+		reg = append(reg, measure.ASRegistryEntry{ASN: e.ASN, Name: e.Name})
+		byASN[e.ASN] = e.Org
+	}
+	return measure.ExposedRelations(s.VRPs, reg, func(asn uint32) (string, bool) {
+		org, ok := byASN[asn]
+		return org, ok
+	})
+}
+
+// ExposureTable renders exposed relations.
+func ExposureTable(rels []ExposedRelation) *Table { return measure.ExposureTable(rels) }
+
+// Validate classifies one route against the study's VRPs (RFC 6811).
+func (s *Study) Validate(prefix netip.Prefix, originAS uint32) State {
+	return s.VRPs.Validate(prefix, originAS)
+}
+
+// ServeRTR serves the study's validated payloads over the RPKI-to-
+// Router protocol on the given listener until the returned server is
+// closed.
+func (s *Study) ServeRTR(ln net.Listener) *rtr.Server {
+	srv := rtr.NewServer(s.VRPs, uint16(s.World.Cfg.Seed))
+	go srv.Serve(ln)
+	return srv
+}
