@@ -14,10 +14,13 @@ package ripki
 import (
 	"fmt"
 	"math"
+	"net"
+	"net/netip"
 	"os"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"ripki/internal/bgp"
 	"ripki/internal/dns"
@@ -26,6 +29,7 @@ import (
 	"ripki/internal/netutil"
 	"ripki/internal/router"
 	"ripki/internal/rpki/vrp"
+	"ripki/internal/rtr"
 	"ripki/internal/stats"
 	"ripki/internal/webworld"
 )
@@ -312,6 +316,92 @@ func BenchmarkDNSSECStudy(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(signed)/float64(len(ds.Results))*100, "dnssec%")
+}
+
+// BenchmarkSimTick times the scenario engine's hot loop: one virtual
+// tick of the roa-churn scenario — scenario events, VRP flush over the
+// RTR wire, relying-party refresh, and revalidation (the probe is
+// sampled out of the loop).
+func BenchmarkSimTick(b *testing.B) {
+	tick := 10 * time.Second
+	s, err := NewSimulation(SimConfig{
+		Scenario:      "roa-churn",
+		Seed:          3,
+		Domains:       5000,
+		Tick:          tick,
+		Duration:      time.Duration(b.N+2) * tick,
+		SampleEvery:   1 << 20, // keep the probe out of the measured loop
+		SampleDomains: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Step() {
+			b.Fatal("simulation ended early")
+		}
+	}
+	b.StopTimer()
+	if err := s.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRTRChurn times one full cache churn round trip: a real
+// Update (diff, delta, serial bump, notify) followed by two connected
+// routers completing an incremental sync over TCP.
+func BenchmarkRTRChurn(b *testing.B) {
+	base := vrp.NewSet()
+	for i := 0; i < 1000; i++ {
+		v := vrp.VRP{
+			Prefix:    netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24),
+			MaxLength: 24,
+			ASN:       uint32(64500 + i%64),
+		}
+		if err := base.Add(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := rtr.NewServer(base, 1)
+	srv.Logf = func(string, ...any) {}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	clients := make([]*rtr.Client, 2)
+	for i := range clients {
+		c, err := rtr.Dial(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = c
+	}
+	// Both alternating sets are built outside the loop: Update never
+	// mutates the set it is handed, so the timed region is purely the
+	// churn round trip (diff, delta, notify, incremental syncs).
+	flip := vrp.VRP{Prefix: netutil.MustPrefix("192.0.2.0/24"), MaxLength: 24, ASN: 64999}
+	withFlip, err := vrp.FromVRPs(append(base.All(), flip))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sets := []*vrp.Set{withFlip, base}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Update(sets[i%2])
+		for _, c := range clients {
+			if err := c.Poll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // --- Ablations (design choices called out in DESIGN.md) ---------------

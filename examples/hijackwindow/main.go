@@ -1,0 +1,95 @@
+// Hijackwindow walks through the scenario engine's headline story — the
+// paper's tragedy on a clock:
+//
+//  1. a popular CDN serves the web's head ranks from prefixes with no
+//     RPKI coverage (the paper's §4 finding);
+//  2. an attacker announces a more-specific of one of those prefixes;
+//     every router on the Internet — validating or not — accepts it,
+//     because with no ROA the route validates NotFound;
+//  3. mid-incident the CDN issues an emergency ROA for the aggregate.
+//     The ground truth now brands the hijack Invalid — but each relying
+//     party keeps forwarding traffic to the attacker until its own RTR
+//     cache refresh delivers the new payload and revalidation drops the
+//     route;
+//  4. the accept-all legacy router stays hijacked until the attacker
+//     walks away.
+//
+// The per-router attack windows — how long each one kept sending users
+// to the attacker — are the cost of the deployment gap the paper
+// measures, plus the cost of relying-party refresh lag on top.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ripki"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := ripki.SimConfig{
+		Scenario: "hijack-window",
+		Seed:     1,
+		Domains:  20000,
+		Tick:     30 * time.Second,
+		Duration: 30 * time.Minute,
+		// The attack lands at 10% of the run, the emergency ROA is
+		// issued at 40%, the attacker gives up at 85%.
+		Params: ripki.SimParams{
+			"cdn":         "akamai",
+			"hijack_frac": "0.10",
+			"roa_frac":    "0.40",
+			"end_frac":    "0.85",
+		},
+	}
+
+	sim, err := ripki.NewSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	// Narrate the event bus: every ROA, BGP, RTR, and relying-party
+	// event as it happens on the virtual clock.
+	fmt.Println("== event log ==")
+	sim.Bus.SubscribeAll(func(e ripki.SimEvent) {
+		if e.Topic != "sample" {
+			fmt.Println(e)
+		}
+	})
+
+	series, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reconstruct each router's attack window from the recorded series.
+	fmt.Println("\n== attack windows ==")
+	times := series.Column("t")
+	sample := times[1] - times[0]
+	for _, name := range []string{"rp-fast", "rp-slow", "legacy"} {
+		col := series.Column("hijacked_" + name)
+		if col == nil {
+			continue
+		}
+		var window time.Duration
+		for _, v := range col {
+			if v > 0 {
+				window += time.Duration(sample) * time.Second
+			}
+		}
+		fmt.Printf("%-8s hijacked for ~%s of the run\n", name, window)
+	}
+	fmt.Println("\nrp-fast escapes first (refreshes every tick), rp-slow pays for its")
+	fmt.Println("cache lag, and the accept-all legacy router is hijacked wall to wall:")
+	fmt.Println("exactly the protection gradient the paper says the web lacks.")
+
+	fmt.Println("\n== time series (TSV) ==")
+	if err := series.WriteTSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module ripki
+
+go 1.24

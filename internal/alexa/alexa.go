@@ -32,6 +32,19 @@ func FromDomains(domains []string) *List {
 	return l
 }
 
+// FromEntries builds a list from explicit (rank, domain) pairs, keeping
+// the given ranks. Entries must already be ordered by ascending rank.
+// Sampled sub-populations use this so each domain keeps its original
+// rank (and therefore its figure bin) instead of being renumbered.
+func FromEntries(entries []Entry) *List {
+	l := &List{entries: make([]Entry, len(entries))}
+	copy(l.entries, entries)
+	for i := range l.entries {
+		l.entries[i].Domain = strings.ToLower(l.entries[i].Domain)
+	}
+	return l
+}
+
 // Len returns the number of entries.
 func (l *List) Len() int { return len(l.entries) }
 

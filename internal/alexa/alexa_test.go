@@ -64,3 +64,17 @@ func TestReadCSVValidation(t *testing.T) {
 		t.Errorf("sparse ranks: %v", err)
 	}
 }
+
+func TestFromEntriesKeepsRanks(t *testing.T) {
+	l := FromEntries([]Entry{{Rank: 3, Domain: "Alpha.Example"}, {Rank: 900, Domain: "beta.example"}})
+	es := l.Entries()
+	if len(es) != 2 {
+		t.Fatalf("len = %d", len(es))
+	}
+	if es[0].Rank != 3 || es[0].Domain != "alpha.example" {
+		t.Errorf("entry 0 = %+v", es[0])
+	}
+	if es[1].Rank != 900 {
+		t.Errorf("entry 1 rank = %d, want 900 (not renumbered)", es[1].Rank)
+	}
+}

@@ -429,3 +429,29 @@ func BenchmarkRegistryResolve(b *testing.B) {
 		reg.Resolve("www.example.com", TypeA)
 	}
 }
+
+func TestRegistryRemove(t *testing.T) {
+	r := NewRegistry()
+	r.Add(RR{Name: "Cache.CDN.wld", Type: TypeA, TTL: 20, Addr: netip.MustParseAddr("192.0.2.1")})
+	r.Add(RR{Name: "cache.cdn.wld", Type: TypeA, TTL: 20, Addr: netip.MustParseAddr("192.0.2.2")})
+	r.Add(RR{Name: "cache.cdn.wld", Type: TypeAAAA, TTL: 20, Addr: netip.MustParseAddr("2001:db8::1")})
+
+	if got := r.Remove("CACHE.cdn.wld", TypeA); got != 2 {
+		t.Errorf("Remove A = %d, want 2", got)
+	}
+	if rrs := r.Lookup("cache.cdn.wld", TypeA); len(rrs) != 0 {
+		t.Errorf("A records survived: %v", rrs)
+	}
+	if rrs := r.Lookup("cache.cdn.wld", TypeAAAA); len(rrs) != 1 {
+		t.Errorf("AAAA records lost: %v", rrs)
+	}
+	if got := r.Remove("cache.cdn.wld", TypeAAAA); got != 1 {
+		t.Errorf("Remove AAAA = %d, want 1", got)
+	}
+	if r.Exists("cache.cdn.wld") {
+		t.Error("owner name survived removing its last record")
+	}
+	if got := r.Remove("never.was.here", TypeA); got != 0 {
+		t.Errorf("Remove on missing name = %d, want 0", got)
+	}
+}

@@ -43,6 +43,32 @@ func (r *Registry) AddCNAME(name, target string, ttl uint32) {
 	r.Add(RR{Name: name, Type: TypeCNAME, TTL: ttl, Target: target})
 }
 
+// Remove deletes every record of the given type at name and reports how
+// many were removed. It exists for time-evolving worlds (simulation
+// scenarios re-point cache hosts and delivery chains); pass e.g. TypeA
+// then Add the replacements.
+func (r *Registry) Remove(name string, typ uint16) int {
+	name = CanonicalName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rrs := r.records[name]
+	kept := rrs[:0]
+	removed := 0
+	for _, rr := range rrs {
+		if rr.Type == typ {
+			removed++
+			continue
+		}
+		kept = append(kept, rr)
+	}
+	if len(kept) == 0 {
+		delete(r.records, name)
+	} else {
+		r.records[name] = kept
+	}
+	return removed
+}
+
 // Lookup returns the records of the given type at exactly name
 // (no CNAME chasing).
 func (r *Registry) Lookup(name string, typ uint16) []RR {

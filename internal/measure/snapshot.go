@@ -1,0 +1,78 @@
+package measure
+
+// ExposureSnapshot condenses a Dataset into the handful of exposure
+// numbers a time series samples every tick: the mean per-domain RFC 6811
+// state probabilities, RPKI coverage, and the rank-bucketed protection
+// split the paper's figures revolve around (popular head vs long tail).
+type ExposureSnapshot struct {
+	// Domains is how many domains contributed (usable www variants).
+	Domains int
+	// Valid, Invalid, NotFound are the mean per-domain state
+	// probabilities over the www variant (Figure 2's series).
+	Valid, Invalid, NotFound float64
+	// Coverage is the mean probability of being RPKI-covered at all
+	// (valid or invalid — Figure 4's "RPKI-enabled").
+	Coverage float64
+	// HeadValid and TailValid split Valid at the head cutoff rank,
+	// exposing the paper's tragedy: the head (popular, CDN-hosted) sits
+	// below the tail.
+	HeadValid, TailValid float64
+}
+
+// Snapshot computes the exposure summary of a dataset. headCut is the
+// rank (inclusive) separating the popular head from the tail; zero
+// defaults to a tenth of the measured population's highest rank.
+func Snapshot(ds *Dataset, headCut int) ExposureSnapshot {
+	var snap ExposureSnapshot
+	if len(ds.Results) == 0 {
+		return snap
+	}
+	if headCut <= 0 {
+		maxRank := 0
+		for i := range ds.Results {
+			if ds.Results[i].Rank > maxRank {
+				maxRank = ds.Results[i].Rank
+			}
+		}
+		headCut = maxRank / 10
+		if headCut == 0 {
+			headCut = 1
+		}
+	}
+	var headN, tailN float64
+	for i := range ds.Results {
+		r := &ds.Results[i]
+		if !r.WWW.Usable() || r.WWW.Pairs == 0 {
+			continue
+		}
+		snap.Domains++
+		v := r.WWW
+		validP := float64(v.ValidPairs) / float64(v.Pairs)
+		invalidP := float64(v.InvalidPairs) / float64(v.Pairs)
+		snap.Valid += validP
+		snap.Invalid += invalidP
+		snap.NotFound += float64(v.NotFoundPairs()) / float64(v.Pairs)
+		snap.Coverage += v.CoverageProb()
+		if r.Rank <= headCut {
+			snap.HeadValid += validP
+			headN++
+		} else {
+			snap.TailValid += validP
+			tailN++
+		}
+	}
+	if snap.Domains > 0 {
+		n := float64(snap.Domains)
+		snap.Valid /= n
+		snap.Invalid /= n
+		snap.NotFound /= n
+		snap.Coverage /= n
+	}
+	if headN > 0 {
+		snap.HeadValid /= headN
+	}
+	if tailN > 0 {
+		snap.TailValid /= tailN
+	}
+	return snap
+}

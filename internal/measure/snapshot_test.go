@@ -1,0 +1,66 @@
+package measure
+
+import (
+	"math"
+	"testing"
+)
+
+func snapResult(rank, valid, invalid, pairs int) DomainResult {
+	return DomainResult{
+		Rank: rank,
+		WWW: VariantData{
+			Resolved: true, Addrs: 1,
+			Pairs: pairs, ValidPairs: valid, InvalidPairs: invalid,
+		},
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	ds := &Dataset{Results: []DomainResult{
+		snapResult(1, 2, 0, 2),   // head: fully valid
+		snapResult(2, 0, 1, 2),   // head: half invalid, half not found
+		snapResult(50, 0, 0, 4),  // tail: not found
+		snapResult(100, 1, 0, 2), // tail: half valid
+		{Rank: 3}, // unresolved: excluded
+	}}
+	snap := Snapshot(ds, 10)
+	if snap.Domains != 4 {
+		t.Fatalf("Domains = %d, want 4", snap.Domains)
+	}
+	approx := func(got, want float64, label string) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", label, got, want)
+		}
+	}
+	approx(snap.Valid, (1.0+0+0+0.5)/4, "Valid")
+	approx(snap.Invalid, (0+0.5+0+0)/4, "Invalid")
+	approx(snap.NotFound, (0+0.5+1+0.5)/4, "NotFound")
+	approx(snap.Coverage, (1.0+0.5+0+0.5)/4, "Coverage")
+	approx(snap.HeadValid, (1.0+0)/2, "HeadValid")
+	approx(snap.TailValid, (0+0.5)/2, "TailValid")
+
+	// States must sum to one.
+	if sum := snap.Valid + snap.Invalid + snap.NotFound; math.Abs(sum-1) > 1e-12 {
+		t.Errorf("state fractions sum to %v", sum)
+	}
+}
+
+func TestSnapshotDefaultHeadCut(t *testing.T) {
+	ds := &Dataset{Results: []DomainResult{
+		snapResult(1, 1, 0, 1),
+		snapResult(100, 0, 0, 1),
+	}}
+	// headCut defaults to maxRank/10 = 10: rank 1 is head, rank 100 tail.
+	snap := Snapshot(ds, 0)
+	if snap.HeadValid != 1 || snap.TailValid != 0 {
+		t.Errorf("head/tail = %v/%v, want 1/0", snap.HeadValid, snap.TailValid)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	snap := Snapshot(&Dataset{}, 0)
+	if snap.Domains != 0 || snap.Valid != 0 {
+		t.Errorf("empty snapshot = %+v", snap)
+	}
+}

@@ -156,19 +156,30 @@ func (t *Table) Withdraw(peer uint16, prefix netip.Prefix) bool {
 // Apply ingests one collector route event (registering the peer as
 // needed).
 func (t *Table) Apply(ev bgp.RouteEvent) error {
+	if ev.Withdraw {
+		t.WithdrawEvent(ev)
+		return nil
+	}
 	t.mu.Lock()
 	idx := t.addPeerLocked(mrt.Peer{BGPID: ev.PeerID, Addr: ev.PeerID, ASN: ev.PeerAS})
 	t.mu.Unlock()
-	if ev.Withdraw {
-		t.Withdraw(idx, ev.Prefix)
-		return nil
-	}
 	return t.Insert(Route{
 		Prefix:    ev.Prefix,
 		PeerIndex: idx,
 		Path:      ev.Path,
 		NextHop:   ev.NextHop,
 	})
+}
+
+// WithdrawEvent removes the route named by a collector event
+// (registering the peer as needed) and reports whether a route was
+// actually removed — Apply's withdraw path, with the outcome exposed
+// for callers that count drops.
+func (t *Table) WithdrawEvent(ev bgp.RouteEvent) bool {
+	t.mu.Lock()
+	idx := t.addPeerLocked(mrt.Peer{BGPID: ev.PeerID, Addr: ev.PeerID, ASN: ev.PeerAS})
+	t.mu.Unlock()
+	return t.Withdraw(idx, ev.Prefix)
 }
 
 // Covering returns all routed prefixes containing addr, shortest first.
@@ -218,6 +229,21 @@ func (t *Table) OriginPairs(addr netip.Addr) []PrefixOrigin {
 			return c < 0
 		}
 		return out[i].Origin < out[j].Origin
+	})
+	return out
+}
+
+// Snapshot returns a copy of every route, grouped by prefix in lexical
+// order (peers ascending within a prefix). Unlike WalkRoutes it holds no
+// lock when it returns, so callers may mutate the table while iterating
+// the result — the revalidation path depends on this.
+func (t *Table) Snapshot() []Route {
+	t.mu.RLock()
+	out := make([]Route, 0, t.routes)
+	t.mu.RUnlock()
+	t.WalkRoutes(func(r Route) bool {
+		out = append(out, r)
+		return true
 	})
 	return out
 }

@@ -207,3 +207,27 @@ func TestWalkRoutesOrderAndStop(t *testing.T) {
 		t.Errorf("early stop visited %d", n)
 	}
 }
+
+func TestSnapshotMutationSafe(t *testing.T) {
+	tb := New()
+	p0 := tb.AddPeer(mrt.Peer{BGPID: netutil.MustAddr("10.0.0.1"), ASN: 1})
+	tb.Insert(Route{Prefix: netutil.MustPrefix("10.0.0.0/8"), PeerIndex: p0, Path: seq(1), NextHop: netutil.MustAddr("10.0.0.1")})
+	tb.Insert(Route{Prefix: netutil.MustPrefix("11.0.0.0/8"), PeerIndex: p0, Path: seq(2), NextHop: netutil.MustAddr("10.0.0.1")})
+	snap := tb.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d routes, want 2", len(snap))
+	}
+	// Mutating the table while iterating the snapshot must be safe —
+	// this is exactly what Router.Revalidate does.
+	for _, r := range snap {
+		if !tb.Withdraw(r.PeerIndex, r.Prefix) {
+			t.Errorf("withdraw %v failed", r.Prefix)
+		}
+	}
+	if tb.Len() != 0 {
+		t.Errorf("table not empty after withdrawing the snapshot: %d", tb.Len())
+	}
+	if len(tb.Snapshot()) != 0 {
+		t.Error("snapshot of empty table not empty")
+	}
+}

@@ -90,6 +90,19 @@ type Router struct {
 	mu         sync.Mutex
 	decided    map[vrp.State]int
 	deprefered map[rib.PrefixOrigin]bool
+	// adjIn retains every received (non-withdrawn) announcement — the
+	// Adj-RIB-In. Policy filters what reaches the local RIB, but
+	// revalidation must reconsider everything ever received: a route
+	// dropped as Invalid comes back once the offending ROA is revoked,
+	// exactly as RFC 6811 routers re-apply policy to Adj-RIB-In.
+	adjIn map[adjKey]bgp.RouteEvent
+}
+
+// adjKey identifies one peer's announcement of one prefix.
+type adjKey struct {
+	prefix netip.Prefix
+	peerAS uint32
+	peerID netip.Addr
 }
 
 // New creates a router fed by the given VRP source.
@@ -110,7 +123,32 @@ func NewWithPolicy(source VRPSource, policy Policy) *Router {
 		table:       rib.New(),
 		decided:     make(map[vrp.State]int),
 		deprefered:  make(map[rib.PrefixOrigin]bool),
+		adjIn:       make(map[adjKey]bgp.RouteEvent),
 	}
+}
+
+// effectivePolicy resolves the Policy/DropInvalid compatibility split.
+func (r *Router) effectivePolicy() Policy {
+	if r.Policy == PolicyAcceptAll && r.DropInvalid {
+		return PolicyDropInvalid
+	}
+	return r.Policy
+}
+
+// validateRoute classifies one announcement against a VRP set under a
+// policy: the origin-validation outcome, the extracted origin, and
+// whether the path had a usable origin. AS_SET paths cannot be
+// validated; deployed policy treats them as invalid (their use is
+// deprecated for exactly this reason).
+func validateRoute(set *vrp.Set, prefix netip.Prefix, path []bgp.Segment, policy Policy) (state vrp.State, origin uint32, ok bool) {
+	origin, ok = bgp.OriginAS(path)
+	if ok {
+		return set.Validate(prefix, origin), origin, true
+	}
+	if policy != PolicyAcceptAll {
+		return vrp.Invalid, 0, false
+	}
+	return vrp.NotFound, 0, false
 }
 
 // Table exposes the router's local RIB.
@@ -119,27 +157,21 @@ func (r *Router) Table() *rib.Table { return r.table }
 // Process applies origin validation and policy to one route event and
 // updates the local RIB accordingly.
 func (r *Router) Process(ev bgp.RouteEvent) (Decision, error) {
+	key := adjKey{prefix: ev.Prefix.Masked(), peerAS: ev.PeerAS, peerID: ev.PeerID}
 	if ev.Withdraw {
+		r.mu.Lock()
+		delete(r.adjIn, key)
+		r.mu.Unlock()
 		if err := r.table.Apply(ev); err != nil {
 			return Decision{}, err
 		}
 		return Decision{State: vrp.NotFound, Accepted: true}, nil
 	}
-	policy := r.Policy
-	if policy == PolicyAcceptAll && r.DropInvalid {
-		policy = PolicyDropInvalid
-	}
-	origin, ok := bgp.OriginAS(ev.Path)
-	state := vrp.NotFound
-	if ok {
-		state = r.source.Set().Validate(ev.Prefix, origin)
-	} else if policy != PolicyAcceptAll {
-		// AS_SET paths cannot be validated; deployed policy treats them
-		// as invalid (their use is deprecated for exactly this reason).
-		state = vrp.Invalid
-	}
+	policy := r.effectivePolicy()
+	state, origin, ok := validateRoute(r.source.Set(), ev.Prefix, ev.Path, policy)
 	r.mu.Lock()
 	r.decided[state]++
+	r.adjIn[key] = ev
 	r.mu.Unlock()
 	if policy == PolicyDropInvalid && state == vrp.Invalid {
 		return Decision{State: state, Accepted: false}, nil
@@ -155,6 +187,77 @@ func (r *Router) Process(ev bgp.RouteEvent) (Decision, error) {
 		r.mu.Unlock()
 	}
 	return d, nil
+}
+
+// RevalidationResult tallies one Revalidate pass.
+type RevalidationResult struct {
+	// Routes is the number of routes examined.
+	Routes int
+	// Valid/Invalid/NotFound count the fresh validation outcomes.
+	Valid, Invalid, NotFound int
+	// Dropped is how many now-invalid routes PolicyDropInvalid removed
+	// from the local RIB.
+	Dropped int
+	// Deprefered is how many routes PolicyPreferValid now marks less
+	// attractive.
+	Deprefered int
+}
+
+// Revalidate re-applies origin validation and policy to every route in
+// the Adj-RIB-In against the source's *current* VRP set. Real routers
+// do this whenever their RTR cache delivers new payloads: a route
+// accepted as NotFound yesterday may be Invalid today (a ROA was
+// issued — the hijack-window case), and a route dropped as Invalid
+// comes back once the offending ROA is revoked. Under PolicyDropInvalid
+// now-invalid routes are withdrawn from the local RIB and everything
+// else is (re)installed; under PolicyPreferValid the depreference marks
+// are rebuilt from scratch.
+func (r *Router) Revalidate() RevalidationResult {
+	policy := r.effectivePolicy()
+	set := r.source.Set()
+	r.mu.Lock()
+	events := make([]bgp.RouteEvent, 0, len(r.adjIn))
+	for _, ev := range r.adjIn {
+		events = append(events, ev)
+	}
+	r.mu.Unlock()
+
+	var res RevalidationResult
+	fresh := make(map[rib.PrefixOrigin]bool)
+	for _, ev := range events {
+		res.Routes++
+		state, origin, ok := validateRoute(set, ev.Prefix, ev.Path, policy)
+		switch state {
+		case vrp.Valid:
+			res.Valid++
+		case vrp.Invalid:
+			res.Invalid++
+		default:
+			res.NotFound++
+		}
+		if policy == PolicyDropInvalid && state == vrp.Invalid {
+			if r.table.WithdrawEvent(ev) {
+				res.Dropped++
+			}
+			continue
+		}
+		// (Re)install: routes previously dropped under a now-revoked ROA
+		// return to the local RIB; installed routes are replaced in
+		// place.
+		if err := r.table.Apply(ev); err != nil {
+			continue
+		}
+		if policy == PolicyPreferValid && state == vrp.Invalid && ok {
+			fresh[rib.PrefixOrigin{Prefix: ev.Prefix.Masked(), Origin: origin}] = true
+		}
+	}
+	if policy == PolicyPreferValid {
+		r.mu.Lock()
+		r.deprefered = fresh
+		r.mu.Unlock()
+		res.Deprefered = len(fresh)
+	}
+	return res
 }
 
 // Forward resolves where traffic to addr goes under the router's
@@ -190,9 +293,5 @@ func (r *Router) Counts() map[vrp.State]int {
 
 // String summarises the router.
 func (r *Router) String() string {
-	policy := r.Policy
-	if policy == PolicyAcceptAll && r.DropInvalid {
-		policy = PolicyDropInvalid
-	}
-	return fmt.Sprintf("router(%s, %d prefixes)", policy, r.table.Len())
+	return fmt.Sprintf("router(%s, %d prefixes)", r.effectivePolicy(), r.table.Len())
 }

@@ -72,6 +72,19 @@ type Set struct {
 // NewSet returns an empty VRP set.
 func NewSet() *Set { return &Set{} }
 
+// FromVRPs builds a set from a slice. Insertion order does not matter:
+// two sets holding the same triples are indistinguishable (All is
+// sorted, Diff is order-free), so callers may feed map-iteration order.
+func FromVRPs(vs []VRP) (*Set, error) {
+	s := NewSet()
+	for _, v := range vs {
+		if err := s.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
 // Add inserts a VRP. Duplicate triples are ignored.
 func (s *Set) Add(v VRP) error {
 	cp, err := netutil.Canonical(v.Prefix)

@@ -58,9 +58,16 @@ func (s *Server) Serial() uint32 {
 
 // Update replaces the served VRP set, records a delta for incremental
 // sync, bumps the serial, and sends Serial Notify to connected routers.
+// An update that does not change the set is a no-op: the serial stays
+// put and no notification is sent, so steady-state refresh cycles do
+// not churn serials or wake connected routers.
 func (s *Server) Update(set *vrp.Set) {
 	s.mu.Lock()
 	ann, wd := set.Diff(s.current)
+	if len(ann) == 0 && len(wd) == 0 {
+		s.mu.Unlock()
+		return
+	}
 	s.deltas[s.serial] = delta{announce: ann, withdraw: wd}
 	if len(s.deltas) > s.maxDeltas {
 		// Drop the oldest retained delta (smallest key).
@@ -75,6 +82,27 @@ func (s *Server) Update(set *vrp.Set) {
 	}
 	s.serial++
 	s.current = set
+	s.notifyLocked()
+}
+
+// ResetSession simulates a cache restart: the session ID changes, the
+// serial restarts from zero, and all retained deltas are dropped. The
+// served set is kept (pass a new set to Update afterwards if the restart
+// also lost data). Connected routers receive a Serial Notify carrying
+// the new session ID; their next Serial Query mismatches and is answered
+// with Cache Reset, forcing a full resynchronisation — exactly the RFC
+// 8210 session-restart dance.
+func (s *Server) ResetSession(sessionID uint16) {
+	s.mu.Lock()
+	s.sessionID = sessionID
+	s.serial = 0
+	s.deltas = make(map[uint32]delta)
+	s.notifyLocked()
+}
+
+// notifyLocked sends Serial Notify for the current (session, serial) to
+// every connected router. Called with s.mu held; releases it.
+func (s *Server) notifyLocked() {
 	serial, session := s.serial, s.sessionID
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {

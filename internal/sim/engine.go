@@ -1,0 +1,610 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sort"
+	"time"
+
+	"ripki/internal/alexa"
+	"ripki/internal/bgp"
+	"ripki/internal/dns"
+	"ripki/internal/measure"
+	"ripki/internal/rib"
+	"ripki/internal/router"
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/rtr"
+	"ripki/internal/webworld"
+)
+
+// RP is one relying party: an RTR client (absent for legacy routers)
+// feeding an origin-validating router.
+type RP struct {
+	Spec   RPSpec
+	Client *rtr.Client
+	Router *router.Router
+
+	source *swapSource
+}
+
+// swapSource is the router's VRP view: a snapshot swapped atomically at
+// each refresh, so route processing validates against the RP's *last
+// synchronised* state, not the cache's live one — the lag the sim
+// measures.
+type swapSource struct{ set *vrp.Set }
+
+// Set returns the current snapshot.
+func (s *swapSource) Set() *vrp.Set { return s.set }
+
+// Hijack is one active attack: a (sub-)prefix announced into every
+// relying party's router, and a victim address inside it the probe
+// checks forwarding for.
+type Hijack struct {
+	// Name identifies the campaign in events and for EndHijack.
+	Name string
+	// Prefix is the announced prefix (typically a more-specific of the
+	// victim's).
+	Prefix netip.Prefix
+	// Path is the announced AS path after the collector peer; the last
+	// element is the (possibly forged) origin.
+	Path []uint32
+	// Victim is the probed address inside Prefix.
+	Victim netip.Addr
+}
+
+// Simulation is one configured run: the world, the RTR cache, the
+// relying parties, the event queue and bus, and the recorded series.
+type Simulation struct {
+	Cfg   Config
+	World *webworld.World
+	// Rand is the scenario randomness source (seeded; deterministic).
+	Rand   *rand.Rand
+	Queue  *Queue
+	Bus    *Bus
+	Server *rtr.Server
+	RPs    []*RP
+	Series *TimeSeries
+
+	scenario  Scenario
+	truth      map[vrp.VRP]bool
+	truthCache *vrp.Set // memoised TruthSet; nil after a mutation
+	dirty      bool
+	outage    bool // cold cache restart in progress: no flushes
+	start     time.Time
+	now       time.Time
+	end       time.Time
+	tick      int
+	session   uint16
+	err       error
+	ln        net.Listener
+	probeList *alexa.List
+	headCut   int
+	hijacks   []*Hijack
+	closed    bool
+}
+
+// New builds a simulation: generates (or adopts) the world, validates
+// its RPKI into the ground-truth VRP state, starts an RTR cache over
+// loopback TCP, connects and seeds the relying parties, and runs the
+// scenario's Setup. Call Run (or Step) next, then Close.
+func New(cfg Config) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Scenario == "" {
+		cfg.Scenario = "baseline"
+	}
+	scenario, err := NewScenario(cfg.Scenario, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	world := cfg.World
+	if world == nil {
+		world, err = webworld.Generate(webworld.Config{Seed: cfg.Seed, Domains: cfg.Domains})
+		if err != nil {
+			return nil, fmt.Errorf("sim: generating world: %w", err)
+		}
+	}
+	validation := world.Repo.Validate(world.MeasureTime())
+	truth := make(map[vrp.VRP]bool)
+	for _, v := range validation.VRPs.All() {
+		truth[v] = true
+	}
+
+	s := &Simulation{
+		Cfg:        cfg,
+		World:      world,
+		Rand:       rand.New(rand.NewSource(cfg.Seed)),
+		Queue:      NewQueue(),
+		Bus:        NewBus(),
+		scenario:   scenario,
+		truth:      truth,
+		truthCache: validation.VRPs,
+		start:      world.MeasureTime(),
+		session:    uint16(cfg.Seed),
+		headCut:    cfg.Domains / 10,
+	}
+	if s.headCut == 0 {
+		s.headCut = 1
+	}
+	s.now = s.start
+	s.end = s.start.Add(cfg.Duration)
+
+	// The cache, served over loopback TCP so the real RTR wire path
+	// (PDUs, serials, deltas, session resets) is exercised end to end.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("sim: listening: %w", err)
+	}
+	s.ln = ln
+	s.Server = rtr.NewServer(validation.VRPs, s.session)
+	s.Server.Logf = func(string, ...any) {} // connection teardown noise
+	go s.Server.Serve(ln)
+
+	// Relying parties.
+	specs := cfg.RPs
+	if specs == nil {
+		if d, ok := scenario.(RPDefaulter); ok {
+			specs = d.DefaultRPs(cfg.Params)
+		}
+	}
+	if specs == nil {
+		specs = DefaultRPs()
+	}
+	for _, spec := range specs {
+		rp := &RP{Spec: spec, source: &swapSource{set: vrp.NewSet()}}
+		rp.Router = router.NewWithPolicy(rp.source, spec.Policy)
+		if spec.RefreshTicks > 0 {
+			client, err := rtr.Dial(ln.Addr().String())
+			if err != nil {
+				s.Close()
+				return nil, fmt.Errorf("sim: dialing cache: %w", err)
+			}
+			if err := client.Reset(); err != nil {
+				s.Close()
+				return nil, fmt.Errorf("sim: initial sync for %s: %w", spec.Name, err)
+			}
+			rp.Client = client
+			rp.source.set = client.Set()
+		}
+		s.RPs = append(s.RPs, rp)
+	}
+
+	// Seed every router with the world's routing table.
+	peers := world.RIB.Peers()
+	var feedErr error
+	world.RIB.WalkRoutes(func(r rib.Route) bool {
+		ev := bgp.RouteEvent{
+			PeerAS:  peers[r.PeerIndex].ASN,
+			PeerID:  peers[r.PeerIndex].BGPID,
+			Prefix:  r.Prefix,
+			Path:    r.Path,
+			NextHop: r.NextHop,
+		}
+		for _, rp := range s.RPs {
+			if _, err := rp.Router.Process(ev); err != nil {
+				feedErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if feedErr != nil {
+		s.Close()
+		return nil, fmt.Errorf("sim: seeding routers: %w", feedErr)
+	}
+
+	s.Series = &TimeSeries{
+		Scenario: cfg.Scenario,
+		Seed:     cfg.Seed,
+		Meta: fmt.Sprintf("domains=%d tick=%s duration=%s sample_every=%d sample_domains=%d",
+			cfg.Domains, cfg.Tick, cfg.Duration, cfg.SampleEvery, cfg.SampleDomains),
+		Columns: s.columns(),
+	}
+	s.Bus.SubscribeAll(func(e Event) { s.Series.Events = append(s.Series.Events, e) })
+	s.probeList = s.sampleList()
+
+	// Recurring engine events: flush each tick, per-RP refresh at its
+	// cadence, probe at the sample cadence (including a t=0 baseline).
+	s.recur(s.start.Add(cfg.Tick), cfg.Tick, classFlush, s.flush)
+	for _, rp := range s.RPs {
+		if rp.Client == nil {
+			continue
+		}
+		rp := rp
+		every := time.Duration(rp.Spec.RefreshTicks) * cfg.Tick
+		s.recur(s.start.Add(every), every, classRefresh, func() { s.refresh(rp) })
+	}
+	s.recur(s.start, time.Duration(cfg.SampleEvery)*cfg.Tick, classProbe, s.probe)
+
+	if err := scenario.Setup(s); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("sim: scenario %s setup: %w", cfg.Scenario, err)
+	}
+	return s, nil
+}
+
+// columns builds the time-series header for the configured RP roster.
+func (s *Simulation) columns() []string {
+	cols := []string{"t", "tick", "serial", "vrps"}
+	for _, rp := range s.RPs {
+		if rp.Client != nil {
+			cols = append(cols, "vrps_"+rp.Spec.Name)
+		}
+	}
+	cols = append(cols, "valid", "invalid", "notfound", "coverage", "head_valid", "tail_valid", "hijacks")
+	for _, rp := range s.RPs {
+		cols = append(cols, "hijacked_"+rp.Spec.Name)
+	}
+	return cols
+}
+
+// sampleList builds the probe's rank-stratified domain sample: the top
+// ranks fully, then an even stride through the tail — every domain keeps
+// its original rank so head/tail bucketing stays meaningful.
+func (s *Simulation) sampleList() *alexa.List {
+	entries := s.World.List.Entries()
+	n := s.Cfg.SampleDomains
+	if n >= len(entries) {
+		return s.World.List
+	}
+	topK := n / 3
+	sample := make([]alexa.Entry, 0, n)
+	sample = append(sample, entries[:topK]...)
+	rest := n - topK
+	stride := (len(entries) - topK) / rest
+	if stride < 1 {
+		stride = 1
+	}
+	for i := topK; i < len(entries) && len(sample) < n; i += stride {
+		sample = append(sample, entries[i])
+	}
+	return alexa.FromEntries(sample)
+}
+
+// recur schedules fn at `first` and then every `every`, until the
+// horizon.
+func (s *Simulation) recur(first time.Time, every time.Duration, class int, fn func()) {
+	var schedule func(at time.Time)
+	schedule = func(at time.Time) {
+		s.Queue.At(at, class, func() {
+			fn()
+			next := at.Add(every)
+			if !next.After(s.end) {
+				schedule(next)
+			}
+		})
+	}
+	if !first.After(s.end) {
+		schedule(first)
+	}
+}
+
+// fail records the first error; the run stops at the next Step.
+func (s *Simulation) fail(err error) {
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first error encountered while running.
+func (s *Simulation) Err() error { return s.err }
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Time { return s.now }
+
+// T returns the virtual offset since the start of the run.
+func (s *Simulation) T() time.Duration { return s.now.Sub(s.start) }
+
+// Start returns the virtual start time (the world's measurement time).
+func (s *Simulation) Start() time.Time { return s.start }
+
+// End returns the virtual horizon.
+func (s *Simulation) End() time.Time { return s.end }
+
+// Tick returns the current tick number.
+func (s *Simulation) Tick() int { return s.tick }
+
+// Step advances the clock by one tick, running every due event in
+// deterministic order. It returns false once the horizon is passed or an
+// error occurred.
+func (s *Simulation) Step() bool {
+	if s.closed || s.err != nil || s.now.After(s.end) {
+		return false
+	}
+	s.Queue.RunDue(s.now)
+	s.now = s.now.Add(s.Cfg.Tick)
+	s.tick++
+	return s.err == nil && !s.now.After(s.end)
+}
+
+// Run steps the simulation to its horizon and returns the recorded
+// series. The simulation stays open (for inspection); call Close when
+// done.
+func (s *Simulation) Run() (*TimeSeries, error) {
+	for s.Step() {
+	}
+	return s.Series, s.err
+}
+
+// Close shuts down the cache, the listener, and every RP session.
+func (s *Simulation) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, rp := range s.RPs {
+		if rp.Client != nil {
+			rp.Client.Close()
+		}
+	}
+	return s.Server.Close()
+}
+
+// --- scenario API ------------------------------------------------------
+
+// At schedules a scenario event at an absolute virtual instant. Events
+// scheduled in the past run at the next tick (still before that tick's
+// flush/refresh/probe).
+func (s *Simulation) At(at time.Time, fn func()) {
+	s.Queue.At(at, classScenario, fn)
+}
+
+// After schedules a scenario event at the given offset from the start.
+func (s *Simulation) After(d time.Duration, fn func()) {
+	s.At(s.start.Add(d), fn)
+}
+
+// AtFrac schedules a scenario event at a fraction of the run's duration
+// (0 = start, 1 = horizon), snapped to nothing — the queue orders it
+// against tick events by time and class.
+func (s *Simulation) AtFrac(frac float64, fn func()) {
+	s.At(s.start.Add(time.Duration(frac*float64(s.Cfg.Duration))), fn)
+}
+
+// Every schedules fn at the given period, starting one period in, until
+// the horizon.
+func (s *Simulation) Every(d time.Duration, fn func()) {
+	s.recur(s.start.Add(d), d, classScenario, fn)
+}
+
+// EveryTick schedules fn every n ticks, starting at tick n.
+func (s *Simulation) EveryTick(n int, fn func()) {
+	s.Every(time.Duration(n)*s.Cfg.Tick, fn)
+}
+
+// Publish emits a bus event stamped with the current virtual time.
+func (s *Simulation) Publish(topic Topic, detail string, data any) {
+	s.Bus.Publish(Event{Topic: topic, T: s.T(), Detail: detail, Data: data})
+}
+
+// HasVRP reports whether the ground truth currently contains v.
+func (s *Simulation) HasVRP(v vrp.VRP) bool { return s.truth[v] }
+
+// TruthVRPs returns the ground-truth VRPs, sorted.
+func (s *Simulation) TruthVRPs() []vrp.VRP {
+	out := make([]vrp.VRP, 0, len(s.truth))
+	for v := range s.truth {
+		out = append(out, v)
+	}
+	sortVRPs(out)
+	return out
+}
+
+// TruthSet returns the ground truth as a queryable set, memoised
+// between mutations. The returned set must be treated as read-only.
+func (s *Simulation) TruthSet() *vrp.Set {
+	if s.truthCache == nil {
+		set, err := vrp.FromVRPs(s.TruthVRPs())
+		if err != nil {
+			s.fail(err)
+			return vrp.NewSet()
+		}
+		s.truthCache = set
+	}
+	return s.truthCache
+}
+
+// IssueVRP adds a validated ROA payload to the ground truth; the change
+// reaches relying parties at the next flush + their next refresh.
+func (s *Simulation) IssueVRP(v vrp.VRP, detail string) {
+	if s.truth[v] {
+		return
+	}
+	s.truth[v] = true
+	s.dirty = true
+	s.truthCache = nil
+	s.Publish(TopicROA, fmt.Sprintf("issue %v (%s)", v, detail), v)
+}
+
+// RevokeVRP removes a payload from the ground truth.
+func (s *Simulation) RevokeVRP(v vrp.VRP, detail string) {
+	if !s.truth[v] {
+		return
+	}
+	delete(s.truth, v)
+	s.dirty = true
+	s.truthCache = nil
+	s.Publish(TopicROA, fmt.Sprintf("revoke %v (%s)", v, detail), v)
+}
+
+// routeEvent builds a collector route event from the first vantage peer.
+func (s *Simulation) routeEvent(prefix netip.Prefix, path []uint32, withdraw bool) bgp.RouteEvent {
+	peer := s.World.RIB.Peers()[0]
+	asns := append([]uint32{peer.ASN}, path...)
+	return bgp.RouteEvent{
+		PeerAS:   peer.ASN,
+		PeerID:   peer.BGPID,
+		Prefix:   prefix,
+		Path:     []bgp.Segment{{Type: bgp.SegmentSequence, ASNs: asns}},
+		NextHop:  peer.Addr,
+		Withdraw: withdraw,
+	}
+}
+
+// AnnounceRoute injects a route announcement into every relying party's
+// router (path is the AS path after the collector peer; the last element
+// is the origin).
+func (s *Simulation) AnnounceRoute(prefix netip.Prefix, path []uint32, detail string) {
+	ev := s.routeEvent(prefix, path, false)
+	for _, rp := range s.RPs {
+		if _, err := rp.Router.Process(ev); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+	s.Publish(TopicBGP, fmt.Sprintf("announce %v path %v (%s)", prefix, path, detail), nil)
+}
+
+// WithdrawRoute removes a previously announced route from every router.
+func (s *Simulation) WithdrawRoute(prefix netip.Prefix, detail string) {
+	ev := s.routeEvent(prefix, nil, true)
+	for _, rp := range s.RPs {
+		if _, err := rp.Router.Process(ev); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+	s.Publish(TopicBGP, fmt.Sprintf("withdraw %v (%s)", prefix, detail), nil)
+}
+
+// StartHijack announces the hijack into every router and tracks it; the
+// probe then records, per router, whether traffic to the victim address
+// actually flows to the hijacked prefix.
+func (s *Simulation) StartHijack(h Hijack) {
+	hh := h
+	s.hijacks = append(s.hijacks, &hh)
+	s.AnnounceRoute(h.Prefix, h.Path, "hijack "+h.Name)
+}
+
+// EndHijack withdraws the named hijack.
+func (s *Simulation) EndHijack(name string) {
+	for i, h := range s.hijacks {
+		if h.Name == name {
+			s.WithdrawRoute(h.Prefix, "hijack "+name+" ends")
+			s.hijacks = append(s.hijacks[:i], s.hijacks[i+1:]...)
+			return
+		}
+	}
+}
+
+// RestartCache simulates an RTR cache restart: new session ID, serial
+// zero, delta history gone. With cold=true the cache also comes back
+// empty — it must revalidate the repository before it can serve
+// payloads again, so clients that refresh during the two-tick
+// revalidation window sync an empty set and briefly validate nothing.
+func (s *Simulation) RestartCache(cold bool) {
+	s.session++
+	s.Server.ResetSession(s.session)
+	detail := "cache restart (warm)"
+	if cold {
+		s.Server.Update(vrp.NewSet())
+		s.outage = true
+		detail = "cache restart (cold: serving empty until revalidation)"
+		s.Queue.At(s.now.Add(2*s.Cfg.Tick), classScenario, func() {
+			s.outage = false
+			s.dirty = true
+			s.Publish(TopicRTR, "cache revalidation complete, refilling", nil)
+		})
+	}
+	s.Publish(TopicRTR, detail, nil)
+}
+
+// flush pushes the ground truth to the cache when it changed this tick.
+// During a cold-restart outage the cache has nothing validated to serve,
+// so flushes are held back until revalidation completes.
+func (s *Simulation) flush() {
+	if !s.dirty || s.outage {
+		return
+	}
+	set := s.TruthSet()
+	s.Server.Update(set)
+	s.dirty = false
+	s.Publish(TopicRTR, fmt.Sprintf("flush serial=%d vrps=%d", s.Server.Serial(), set.Len()), nil)
+}
+
+// refresh is one relying party's poll + revalidation cycle.
+func (s *Simulation) refresh(rp *RP) {
+	if err := rp.Client.Poll(); err != nil {
+		s.fail(fmt.Errorf("sim: %s poll: %w", rp.Spec.Name, err))
+		return
+	}
+	rp.source.set = rp.Client.Set()
+	res := rp.Router.Revalidate()
+	s.Publish(TopicRP, fmt.Sprintf("%s refresh serial=%d vrps=%d dropped=%d",
+		rp.Spec.Name, rp.Client.Serial(), rp.Client.Len(), res.Dropped), res)
+}
+
+// probe records one time-series row. The measured exposure columns
+// (valid/invalid/notfound/coverage/head/tail) are computed against the
+// *ground truth* — what a fully synchronised validator would see. Lag
+// and outages are deliberately not mixed in here: per-RP cache state
+// shows up in the vrps_* columns and its routing consequences in the
+// hijacked_* columns.
+func (s *Simulation) probe() {
+	ds, err := measure.Run(s.probeList, measure.Config{
+		Resolver: dns.RegistryResolver{Registry: s.World.Registry},
+		RIB:      s.World.RIB,
+		VRPs:     s.TruthSet(),
+		BinWidth: s.headCut,
+	})
+	if err != nil {
+		s.fail(fmt.Errorf("sim: probe: %w", err))
+		return
+	}
+	snap := measure.Snapshot(ds, s.headCut)
+
+	row := []float64{
+		s.T().Seconds(),
+		float64(s.tick),
+		float64(s.Server.Serial()),
+		float64(len(s.truth)),
+	}
+	for _, rp := range s.RPs {
+		if rp.Client != nil {
+			row = append(row, float64(rp.Client.Len()))
+		}
+	}
+	row = append(row, snap.Valid, snap.Invalid, snap.NotFound, snap.Coverage,
+		snap.HeadValid, snap.TailValid, float64(len(s.hijacks)))
+	for _, rp := range s.RPs {
+		hijacked := 0
+		for _, h := range s.hijacks {
+			if po, ok := rp.Router.Forward(h.Victim); ok && po.Prefix == h.Prefix {
+				hijacked++
+			}
+		}
+		row = append(row, float64(hijacked))
+	}
+	s.Series.Add(row)
+	s.Publish(TopicSample, fmt.Sprintf("tick=%d valid=%.4f hijacks=%d", s.tick, snap.Valid, len(s.hijacks)), nil)
+}
+
+// sortVRPs orders VRPs by (prefix, maxLength, ASN) — the same total
+// order vrp.Set.All uses.
+func sortVRPs(vs []vrp.VRP) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if c := a.Prefix.Addr().Compare(b.Prefix.Addr()); c != 0 {
+			return c < 0
+		}
+		if a.Prefix.Bits() != b.Prefix.Bits() {
+			return a.Prefix.Bits() < b.Prefix.Bits()
+		}
+		if a.MaxLength != b.MaxLength {
+			return a.MaxLength < b.MaxLength
+		}
+		return a.ASN < b.ASN
+	})
+}
+
+// RunScenario is the one-call entry point: build, run, close, return the
+// series.
+func RunScenario(cfg Config) (*TimeSeries, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Run()
+}

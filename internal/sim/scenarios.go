@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"ripki/internal/dns"
+	"ripki/internal/router"
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/webworld"
+)
+
+// The built-in scenario library. Each scenario is a story about RPKI
+// deployment evolving over time; all of them drive the same pipeline
+// (world → VRP deltas → RTR → routers → probe) and differ only in the
+// events they schedule.
+func init() {
+	Register("baseline", func(p Params) Scenario { return baseline{} })
+	Register("roa-churn", func(p Params) Scenario { return &roaChurn{p: p} })
+	Register("hijack-window", func(p Params) Scenario { return &hijackWindow{p: p} })
+	Register("maxlen-misissuance", func(p Params) Scenario { return &maxlenMisissuance{p: p} })
+	Register("cdn-migration", func(p Params) Scenario { return &cdnMigration{p: p} })
+	Register("rtr-restart", func(p Params) Scenario { return &rtrRestart{p: p} })
+	Register("rp-lag", func(p Params) Scenario { return &rpLag{p: p} })
+}
+
+// unsignedCDNPrefix finds the named CDN's first announced IPv4 prefix
+// with no RPKI coverage — the paper's archetypal victim.
+func unsignedCDNPrefix(s *Simulation, cdn string) (netip.Prefix, uint32, error) {
+	org := s.World.CDNOrg(cdn)
+	if org == nil {
+		return netip.Prefix{}, 0, fmt.Errorf("sim: unknown CDN %q", cdn)
+	}
+	for _, p := range org.Prefixes {
+		if !p.Addr().Is4() {
+			continue
+		}
+		origin, ok := s.World.PinnedOriginOf(p)
+		if !ok {
+			continue
+		}
+		if s.TruthSet().Validate(p, origin) == vrp.NotFound {
+			return p, origin, nil
+		}
+	}
+	return netip.Prefix{}, 0, fmt.Errorf("sim: CDN %q has no unsigned announced IPv4 prefix", cdn)
+}
+
+// --- baseline ----------------------------------------------------------
+
+// baseline runs the static world with no events: the control series.
+type baseline struct{}
+
+func (baseline) Name() string        { return "baseline" }
+func (baseline) Description() string { return "static world, no events (control run)" }
+func (baseline) Setup(*Simulation) error {
+	return nil
+}
+
+// --- roa-churn ---------------------------------------------------------
+
+// roaChurn models organic deployment motion: previously unsigned
+// organisations issue ROAs at a steady rate while a smaller rate of
+// revocations pulls coverage back — the background noise every relying
+// party lives with. Params: issue (VRPs/interval, default 3), revoke
+// (default 1), every_ticks (default 1).
+type roaChurn struct {
+	p Params
+}
+
+func (c *roaChurn) Name() string { return "roa-churn" }
+func (c *roaChurn) Description() string {
+	return "steady ROA issuance and revocation ramping coverage over time"
+}
+
+type churnCandidate struct {
+	prefix netip.Prefix
+	origin uint32
+}
+
+func (c *roaChurn) Setup(s *Simulation) error {
+	issue := c.p.Int("issue", 3)
+	revoke := c.p.Int("revoke", 1)
+	every := c.p.Int("every_ticks", 1)
+
+	var candidates []churnCandidate
+	for _, p := range s.World.RoutedV4Prefixes() {
+		origin, ok := s.World.PinnedOriginOf(p)
+		if !ok {
+			continue
+		}
+		if s.TruthSet().Validate(p, origin) == vrp.NotFound {
+			candidates = append(candidates, churnCandidate{prefix: p, origin: origin})
+		}
+	}
+	perm := s.Rand.Perm(len(candidates))
+	next := 0
+	var issued []vrp.VRP
+	s.EveryTick(every, func() {
+		for i := 0; i < issue && next < len(candidates); i++ {
+			cand := candidates[perm[next]]
+			next++
+			v := vrp.VRP{Prefix: cand.prefix, MaxLength: cand.prefix.Bits(), ASN: cand.origin}
+			s.IssueVRP(v, "churn")
+			issued = append(issued, v)
+		}
+		for i := 0; i < revoke && len(issued) > 1; i++ {
+			j := s.Rand.Intn(len(issued))
+			v := issued[j]
+			issued[j] = issued[len(issued)-1]
+			issued = issued[:len(issued)-1]
+			s.RevokeVRP(v, "churn")
+		}
+	})
+	return nil
+}
+
+// --- hijack-window -----------------------------------------------------
+
+// hijackWindow is the paper's tragedy on a clock: a popular CDN's
+// unprotected prefix is sub-prefix hijacked; mid-incident the operator
+// issues an emergency ROA; each relying party stays hijacked until its
+// own cache refresh delivers the new payload and revalidation drops the
+// now-invalid route — and the accept-all legacy router stays hijacked
+// until the attacker gives up. The time series' hijacked_* columns are
+// the per-router attack windows. Params: cdn (default akamai), attacker
+// (ASN, default 65551), hijack_frac (default 0.1), roa_frac (default
+// 0.4), end_frac (default 0.85).
+type hijackWindow struct {
+	p Params
+}
+
+func (h *hijackWindow) Name() string { return "hijack-window" }
+func (h *hijackWindow) Description() string {
+	return "sub-prefix hijack of an unprotected CDN prefix, closed by an emergency ROA propagating at RP refresh lag"
+}
+
+func (h *hijackWindow) Setup(s *Simulation) error {
+	cdn := h.p.String("cdn", "akamai")
+	attacker := uint32(h.p.Int("attacker", 65551))
+
+	prefix, origin, err := unsignedCDNPrefix(s, cdn)
+	if err != nil {
+		return err
+	}
+	sub := netip.PrefixFrom(prefix.Addr(), prefix.Bits()+2)
+	victim := webworld.HostAddr(sub, 7)
+
+	s.AtFrac(h.p.Float("hijack_frac", 0.1), func() {
+		s.StartHijack(Hijack{
+			Name:   "cdn-subprefix",
+			Prefix: sub,
+			Path:   []uint32{attacker},
+			Victim: victim,
+		})
+	})
+	s.AtFrac(h.p.Float("roa_frac", 0.4), func() {
+		s.IssueVRP(vrp.VRP{Prefix: prefix, MaxLength: prefix.Bits(), ASN: origin},
+			fmt.Sprintf("emergency ROA by %s", cdn))
+	})
+	s.AtFrac(h.p.Float("end_frac", 0.85), func() {
+		s.EndHijack("cdn-subprefix")
+	})
+	return nil
+}
+
+// --- maxlen-misissuance ------------------------------------------------
+
+// maxlenMisissuance demonstrates the classic maxLength pitfall: an
+// operator loosens a ROA's maxLength "for future deaggregation", an
+// attacker answers with a forged-origin sub-prefix hijack that validates
+// *Valid* — origin validation is satisfied, every policy accepts it —
+// and only narrowing the ROA back turns the attack Invalid. Params:
+// maxlen (default 24), attacker (default 65540), loosen_frac (0.2),
+// attack_frac (0.45), fix_frac (0.7), end_frac (0.9).
+type maxlenMisissuance struct {
+	p Params
+}
+
+func (m *maxlenMisissuance) Name() string { return "maxlen-misissuance" }
+func (m *maxlenMisissuance) Description() string {
+	return "loosened ROA maxLength lets a forged-origin sub-prefix hijack validate as Valid"
+}
+
+func (m *maxlenMisissuance) Setup(s *Simulation) error {
+	maxlen := m.p.Int("maxlen", 24)
+	attacker := uint32(m.p.Int("attacker", 65540))
+
+	// A cleanly signed aggregate whose ROA we can loosen: signed at its
+	// own length, announced by the authorised AS, and room to deaggregate.
+	var tight vrp.VRP
+	found := false
+	for _, v := range s.TruthVRPs() {
+		if !v.Prefix.Addr().Is4() || v.Prefix.Bits() > maxlen-2 || v.MaxLength != v.Prefix.Bits() {
+			continue
+		}
+		if origin, ok := s.World.PinnedOriginOf(v.Prefix); ok && origin == v.ASN {
+			tight = v
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("sim: no suitable signed aggregate for maxlen misissuance")
+	}
+	loose := vrp.VRP{Prefix: tight.Prefix, MaxLength: maxlen, ASN: tight.ASN}
+	sub := netip.PrefixFrom(tight.Prefix.Addr(), maxlen)
+	victim := webworld.HostAddr(sub, 9)
+
+	s.AtFrac(m.p.Float("loosen_frac", 0.2), func() {
+		s.RevokeVRP(tight, "replaced by loose maxLength")
+		s.IssueVRP(loose, fmt.Sprintf("maxLength loosened to /%d", maxlen))
+	})
+	s.AtFrac(m.p.Float("attack_frac", 0.45), func() {
+		// Forged origin: the attacker prepends itself but keeps the
+		// authorised AS as the path's origin, so the announcement
+		// validates Valid under the loose ROA.
+		s.StartHijack(Hijack{
+			Name:   "forged-origin",
+			Prefix: sub,
+			Path:   []uint32{attacker, tight.ASN},
+			Victim: victim,
+		})
+	})
+	s.AtFrac(m.p.Float("fix_frac", 0.7), func() {
+		s.RevokeVRP(loose, "maxLength narrowed back")
+		s.IssueVRP(tight, "minimal ROA restored")
+	})
+	s.AtFrac(m.p.Float("end_frac", 0.9), func() {
+		s.EndHijack("forged-origin")
+	})
+	return nil
+}
+
+// --- cdn-migration -----------------------------------------------------
+
+// cdnMigration re-homes one CDN's delivery fleet into another provider's
+// address space, batch by batch — the kind of provider switch the web's
+// head ranks perform routinely. When the destination is the
+// Internap-like ROA-signing CDN, the head's protection visibly rises as
+// the migration proceeds; migrating away reverses it. Params: from
+// (default akamai), to (default internap), every_ticks (default 1),
+// batch (hosts per step; default sized to finish by done_frac, default
+// 0.8).
+type cdnMigration struct {
+	p Params
+}
+
+func (c *cdnMigration) Name() string { return "cdn-migration" }
+func (c *cdnMigration) Description() string {
+	return "batched re-homing of a CDN's delivery hosts into another provider's (signed) address space"
+}
+
+func (c *cdnMigration) Setup(s *Simulation) error {
+	from := c.p.String("from", "akamai")
+	to := c.p.String("to", "internap")
+	every := c.p.Int("every_ticks", 1)
+
+	hosts := s.World.CacheHosts(from)
+	if len(hosts) == 0 {
+		return fmt.Errorf("sim: CDN %q has no cache hosts", from)
+	}
+	dest := s.World.CDNOrg(to)
+	if dest == nil {
+		return fmt.Errorf("sim: unknown destination CDN %q", to)
+	}
+	// Prefer the destination's RPKI-covered prefixes (Internap's four);
+	// fall back to any announced IPv4 space.
+	var destPrefixes []netip.Prefix
+	for _, p := range dest.Prefixes {
+		if !p.Addr().Is4() {
+			continue
+		}
+		if origin, ok := s.World.PinnedOriginOf(p); ok && s.TruthSet().Validate(p, origin) == vrp.Valid {
+			destPrefixes = append(destPrefixes, p)
+		}
+	}
+	if len(destPrefixes) == 0 {
+		for _, p := range dest.Prefixes {
+			if p.Addr().Is4() {
+				destPrefixes = append(destPrefixes, p)
+			}
+		}
+	}
+	if len(destPrefixes) == 0 {
+		return fmt.Errorf("sim: destination CDN %q has no IPv4 prefixes", to)
+	}
+
+	totalTicks := int(s.Cfg.Duration / s.Cfg.Tick)
+	steps := int(c.p.Float("done_frac", 0.8) * float64(totalTicks) / float64(every))
+	if steps < 1 {
+		steps = 1
+	}
+	batch := c.p.Int("batch", (len(hosts)+steps-1)/steps)
+	if batch < 1 {
+		batch = 1
+	}
+
+	next := 0
+	moved := 0
+	s.EveryTick(every, func() {
+		if next >= len(hosts) {
+			return
+		}
+		for i := 0; i < batch && next < len(hosts); i++ {
+			host := hosts[next]
+			p := destPrefixes[next%len(destPrefixes)]
+			s.World.Registry.Remove(host, dns.TypeA)
+			s.World.Registry.Remove(host, dns.TypeAAAA)
+			s.World.Registry.Add(dns.RR{
+				Name: host, Type: dns.TypeA, TTL: 20,
+				Addr: webworld.HostAddr(p, 100+next%3800),
+			})
+			next++
+			moved++
+		}
+		s.Publish(TopicDNS, fmt.Sprintf("migrated %d/%d cache hosts %s → %s", moved, len(hosts), from, to), nil)
+	})
+	return nil
+}
+
+// --- rtr-restart -------------------------------------------------------
+
+// rtrRestart replays a relying-party nightmare: under steady ROA churn
+// the RTR cache restarts mid-run with a new session ID. Warm restarts
+// only force a full resync (serial history is gone); cold restarts
+// additionally serve an *empty* payload set until revalidation
+// completes, briefly tearing protection down for every fast-refreshing
+// client. Params: restart_frac (default 0.5), cold (default true), plus
+// roa-churn's issue/revoke/every_ticks.
+type rtrRestart struct {
+	p Params
+}
+
+func (r *rtrRestart) Name() string { return "rtr-restart" }
+func (r *rtrRestart) Description() string {
+	return "RTR cache session restart (warm or cold) under background ROA churn"
+}
+
+func (r *rtrRestart) Setup(s *Simulation) error {
+	churn := &roaChurn{p: r.p}
+	if err := churn.Setup(s); err != nil {
+		return err
+	}
+	cold := r.p.String("cold", "true") == "true"
+	s.AtFrac(r.p.Float("restart_frac", 0.5), func() {
+		s.RestartCache(cold)
+	})
+	return nil
+}
+
+// --- rp-lag ------------------------------------------------------------
+
+// rpLag isolates relying-party refresh lag: identical drop-invalid
+// routers whose caches refresh at 1, 5, and slow_ticks-tick intervals
+// all chase the same ROA churn; the vrps_* columns fan out into a
+// staircase whose width IS the lag. Params: slow_ticks (default 20),
+// plus roa-churn's issue/revoke/every_ticks.
+type rpLag struct {
+	p Params
+}
+
+func (r *rpLag) Name() string { return "rp-lag" }
+func (r *rpLag) Description() string {
+	return "identical validators at increasing cache-refresh lag chasing the same ROA churn"
+}
+
+func (r *rpLag) DefaultRPs(p Params) []RPSpec {
+	return []RPSpec{
+		{Name: "rp-1t", RefreshTicks: 1, Policy: router.PolicyDropInvalid},
+		{Name: "rp-5t", RefreshTicks: 5, Policy: router.PolicyDropInvalid},
+		{Name: fmt.Sprintf("rp-%dt", p.Int("slow_ticks", 20)), RefreshTicks: p.Int("slow_ticks", 20), Policy: router.PolicyDropInvalid},
+		{Name: "legacy", RefreshTicks: 0, Policy: router.PolicyAcceptAll},
+	}
+}
+
+func (r *rpLag) Setup(s *Simulation) error {
+	churn := &roaChurn{p: r.p}
+	return churn.Setup(s)
+}

@@ -1,0 +1,67 @@
+package webworld
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ripki/internal/dns"
+)
+
+func TestScenarioAccessors(t *testing.T) {
+	w, err := Generate(Config{Seed: 11, Domains: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cdns := w.CDNOrgs()
+	if len(cdns) != len(DefaultCDNs()) {
+		t.Fatalf("CDNOrgs = %d, want %d", len(cdns), len(DefaultCDNs()))
+	}
+	if org := w.CDNOrg("akamai"); org == nil || org.CDN.Name != "akamai" {
+		t.Fatalf("CDNOrg(akamai) = %v", org)
+	}
+	if org := w.CDNOrg("no-such-cdn"); org != nil {
+		t.Errorf("CDNOrg on unknown name = %v, want nil", org)
+	}
+
+	prefixes := w.RoutedV4Prefixes()
+	if len(prefixes) == 0 {
+		t.Fatal("no routed v4 prefixes")
+	}
+	// Deterministic order and every prefix announced with a pinned origin.
+	if again := w.RoutedV4Prefixes(); !reflect.DeepEqual(prefixes, again) {
+		t.Error("RoutedV4Prefixes order not deterministic")
+	}
+	for _, p := range prefixes[:10] {
+		if _, ok := w.PinnedOriginOf(p); !ok {
+			t.Errorf("prefix %v has no pinned origin", p)
+		}
+		if !p.Contains(HostAddr(p, 42)) {
+			t.Errorf("HostAddr(%v) escaped the prefix", p)
+		}
+	}
+
+	hosts := w.CacheHosts("akamai")
+	if len(hosts) == 0 {
+		t.Fatal("akamai has no cache hosts")
+	}
+	suffixes := w.CDNSuffixes["akamai"]
+	for _, h := range hosts[:5] {
+		matched := false
+		for _, suf := range suffixes {
+			if strings.HasSuffix(h, "."+dns.CanonicalName(suf)) {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("cache host %q not under any akamai suffix %v", h, suffixes)
+		}
+		if len(w.Registry.Lookup(h, dns.TypeA)) == 0 {
+			t.Errorf("cache host %q has no A record", h)
+		}
+	}
+	if w.CacheHosts("no-such-cdn") != nil {
+		t.Error("CacheHosts on unknown CDN should be nil")
+	}
+}

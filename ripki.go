@@ -16,10 +16,21 @@
 //	fig := study.Figure2(ripki.VariantWWW)
 //	fig.WriteTSV(os.Stdout)
 //
+// Beyond the snapshot methodology, the module simulates time-evolving
+// RPKI worlds: a deterministic discrete-event engine (internal/sim)
+// replays ROA churn, hijack campaigns, cache restarts, and CDN
+// migrations over virtual time, pushing VRP deltas through the RTR wire
+// protocol to lag-bound relying parties and recording per-tick exposure
+// time series:
+//
+//	series, err := ripki.RunSimScenario(ripki.SimConfig{Scenario: "hijack-window", Seed: 1})
+//	...
+//	series.WriteTSV(os.Stdout)
+//
 // Lower-level building blocks live in the internal packages and are
 // surfaced here only as far as downstream users need them: the world
-// generator, the measurement dataset, origin validation, and RTR
-// serving.
+// generator, the measurement dataset, origin validation, RTR serving,
+// and the scenario engine.
 package ripki
 
 import (
@@ -33,6 +44,7 @@ import (
 	"ripki/internal/rpki/repo"
 	"ripki/internal/rpki/vrp"
 	"ripki/internal/rtr"
+	"ripki/internal/sim"
 	"ripki/internal/stats"
 	"ripki/internal/webworld"
 )
@@ -230,3 +242,40 @@ func (s *Study) ServeRTR(ln net.Listener) *rtr.Server {
 	go srv.Serve(ln)
 	return srv
 }
+
+// --- simulation --------------------------------------------------------
+
+// Re-exported scenario-engine types, so callers need only this package.
+type (
+	// Simulation is one configured discrete-event run.
+	Simulation = sim.Simulation
+	// SimConfig parameterises a simulation (scenario, seed, tick,
+	// duration, relying-party roster).
+	SimConfig = sim.Config
+	// SimParams carries free-form scenario parameters.
+	SimParams = sim.Params
+	// SimEvent is one bus message (ROA issued, hijack started, cache
+	// flushed, ...).
+	SimEvent = sim.Event
+	// Scenario seeds a simulation with events; implement and Register
+	// to add one.
+	Scenario = sim.Scenario
+	// TimeSeries is the per-tick simulation output.
+	TimeSeries = sim.TimeSeries
+)
+
+// NewSimulation builds a simulation: world, RTR cache, relying parties,
+// scenario. Run it, then Close it.
+func NewSimulation(cfg SimConfig) (*Simulation, error) { return sim.New(cfg) }
+
+// RunSimScenario builds, runs, and closes a simulation in one call.
+func RunSimScenario(cfg SimConfig) (*TimeSeries, error) { return sim.RunScenario(cfg) }
+
+// Scenarios lists the registered scenario names.
+func Scenarios() []string { return sim.Names() }
+
+// DescribeScenario returns a registered scenario's one-line description.
+func DescribeScenario(name string) string { return sim.Describe(name) }
+
+// RegisterScenario adds a scenario to the registry under its name.
+func RegisterScenario(name string, f func(SimParams) Scenario) { sim.Register(name, f) }
