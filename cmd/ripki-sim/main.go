@@ -39,7 +39,10 @@ func main() {
 	log.SetPrefix("ripki-sim: ")
 	params := paramFlag{}
 	var (
-		scenario      = flag.String("scenario", "hijack-window", "scenario to run (see -list)")
+		// The usage text enumerates the live registry, so it can never
+		// drift from the actual scenario library (ripki-sweep shares it).
+		scenario = flag.String("scenario", "hijack-window",
+			"scenario to run; registered: "+strings.Join(ripki.Scenarios(), ", "))
 		list          = flag.Bool("list", false, "list registered scenarios and exit")
 		seed          = flag.Int64("seed", 1, "world + scenario seed")
 		domains       = flag.Int("domains", 20000, "size of the generated world")

@@ -1,0 +1,143 @@
+// Command ripki-sweep runs a parameter grid of scenario simulations
+// across a worker pool and emits deterministic cross-run aggregates:
+// per-tick min/mean/max/p50/p95 of every exposure metric and per
+// relying-party hijack-success rates, per grid cell. Same grid + master
+// seed ⇒ byte-identical output at ANY -workers value.
+//
+//	ripki-sweep -scenarios hijack-window,route-leak -replicates 4 -workers 8
+//	ripki-sweep -scenarios rp-lag -param slow_ticks=10,20,40 -format json
+//	ripki-sweep -grid grid.json -workers 4
+//	ripki-sweep -scenarios trust-anchor-outage -seeds 1,2,3 -domains 4000,8000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ripki"
+)
+
+// listFlag parses a comma-separated axis into typed values.
+func listFlag[T any](s string, parse func(string) (T, error)) ([]T, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []T
+	for _, part := range strings.Split(s, ",") {
+		v, err := parse(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// paramAxes collects repeatable -param key=v1,v2 axes.
+type paramAxes map[string][]string
+
+func (p paramAxes) String() string { return fmt.Sprint(map[string][]string(p)) }
+
+func (p paramAxes) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" || v == "" {
+		return fmt.Errorf("want key=value[,value...], got %q", s)
+	}
+	if _, dup := p[k]; dup {
+		return fmt.Errorf("param axis %q given twice; list its values comma-separated in one flag", k)
+	}
+	p[k] = strings.Split(v, ",")
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ripki-sweep: ")
+	params := paramAxes{}
+	var (
+		scenarios = flag.String("scenarios", "baseline",
+			"comma-separated scenario axis; registered: "+strings.Join(ripki.Scenarios(), ", "))
+		gridPath      = flag.String("grid", "", "JSON grid file (overrides the axis flags)")
+		masterSeed    = flag.Int64("master-seed", 1, "master seed for per-replicate seed derivation")
+		replicates    = flag.Int("replicates", 3, "seeds derived per grid cell")
+		seeds         = flag.String("seeds", "", "explicit comma-separated seed axis (overrides -replicates)")
+		domains       = flag.String("domains", "", "comma-separated world-size axis (default: sim default)")
+		ticks         = flag.String("tick", "", "comma-separated tick axis (e.g. 10s,30s)")
+		durations     = flag.String("duration", "", "comma-separated horizon axis (e.g. 10m,30m)")
+		sampleEvery   = flag.String("sample-every", "", "comma-separated probe-cadence axis (ticks)")
+		sampleDomains = flag.String("sample-domains", "", "comma-separated probe-sample-size axis")
+		workers       = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); output is identical at any value")
+		format        = flag.String("format", "tsv", `output format: "tsv" or "json"`)
+		quiet         = flag.Bool("quiet", false, "suppress per-run progress on stderr")
+	)
+	flag.Var(params, "param", "scenario parameter axis key=value[,value...] (repeatable, crossed)")
+	flag.Parse()
+
+	var grid ripki.SweepGrid
+	if *gridPath != "" {
+		data, err := os.ReadFile(*gridPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		grid, err = ripki.ParseSweepGrid(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var err error
+		grid.Scenarios, err = listFlag(*scenarios, func(s string) (string, error) { return s, nil })
+		fatal(err)
+		grid.MasterSeed = *masterSeed
+		grid.Replicates = *replicates
+		grid.Seeds, err = listFlag(*seeds, func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) })
+		fatal(err)
+		grid.Domains, err = listFlag(*domains, strconv.Atoi)
+		fatal(err)
+		grid.Ticks, err = listFlag(*ticks, time.ParseDuration)
+		fatal(err)
+		grid.Durations, err = listFlag(*durations, time.ParseDuration)
+		fatal(err)
+		grid.SampleEvery, err = listFlag(*sampleEvery, strconv.Atoi)
+		fatal(err)
+		grid.SampleDomains, err = listFlag(*sampleDomains, strconv.Atoi)
+		fatal(err)
+		if len(params) > 0 {
+			grid.Params = params
+		}
+	}
+
+	opt := ripki.SweepOptions{Workers: *workers}
+	if !*quiet {
+		start := time.Now()
+		opt.Progress = func(done, total int, rr *ripki.SweepRunResult) {
+			fmt.Fprintf(os.Stderr, "ripki-sweep: [%3d/%d] %s (%.1fs)\n", done, total, rr, time.Since(start).Seconds())
+		}
+	}
+	res, err := ripki.RunSweep(grid, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *format {
+	case "tsv":
+		err = res.WriteTSV(os.Stdout)
+	case "json":
+		err = res.WriteJSON(os.Stdout)
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -21,7 +21,7 @@ func TestSnapshot(t *testing.T) {
 		snapResult(2, 0, 1, 2),   // head: half invalid, half not found
 		snapResult(50, 0, 0, 4),  // tail: not found
 		snapResult(100, 1, 0, 2), // tail: half valid
-		{Rank: 3}, // unresolved: excluded
+		{Rank: 3},                // unresolved: excluded
 	}}
 	snap := Snapshot(ds, 10)
 	if snap.Domains != 4 {

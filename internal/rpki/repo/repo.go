@@ -319,6 +319,24 @@ func (r *Repository) Validate(at time.Time) *ValidationResult {
 	return res
 }
 
+// ValidateAnchor walks only the named trust anchor's subtree and
+// returns its validated payloads — what the RPKI loses when one RIR's
+// publication point goes dark. An unknown name yields an empty result.
+func (r *Repository) ValidateAnchor(at time.Time, name string) *ValidationResult {
+	res := &ValidationResult{VRPs: vrp.NewSet()}
+	ta := r.Anchor(name)
+	if ta == nil {
+		return res
+	}
+	opts := cert.VerifyOptions{Now: at}
+	if err := ta.Cert.Verify(ta.Cert, opts); err != nil {
+		res.Problems = append(res.Problems, ValidationProblem{CA: ta.Cert.Subject, Object: "ta.cer", Err: err})
+		return res
+	}
+	r.validateCA(ta, opts, res)
+	return res
+}
+
 func (r *Repository) validateCA(ca *CA, opts cert.VerifyOptions, res *ValidationResult) {
 	// Manifest gate: a missing or invalid manifest voids the whole
 	// publication point.

@@ -288,3 +288,47 @@ func TestMissingManifestVoidsPP(t *testing.T) {
 		t.Fatal("publication point without manifest accepted")
 	}
 }
+
+func TestValidateAnchorIsolatesSubtree(t *testing.T) {
+	r := newRepo(t)
+	ripe := r.Anchor("ripe")
+	arin := r.Anchor("arin")
+	ispEU, err := r.NewCA(ripe, "isp-eu", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("193.0.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 3333, Max: 3333}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddROA(ispEU, 3333, []roa.Prefix{{Prefix: netutil.MustPrefix("193.0.6.0/24"), MaxLength: 24}}); err != nil {
+		t.Fatal(err)
+	}
+	ispUS, err := r.NewCA(arin, "isp-us", cert.Resources{
+		Prefixes: []pfx{netutil.MustPrefix("8.8.0.0/16")},
+		ASNs:     []cert.ASRange{{Min: 15169, Max: 15169}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddROA(ispUS, 15169, []roa.Prefix{{Prefix: netutil.MustPrefix("8.8.8.0/24"), MaxLength: 24}}); err != nil {
+		t.Fatal(err)
+	}
+
+	full := r.Validate(at)
+	if full.VRPs.Len() != 2 {
+		t.Fatalf("full validation: %d VRPs, want 2", full.VRPs.Len())
+	}
+	ripeOnly := r.ValidateAnchor(at, "ripe")
+	if ripeOnly.VRPs.Len() != 1 {
+		t.Fatalf("ripe subtree: %d VRPs, want 1", ripeOnly.VRPs.Len())
+	}
+	if got := ripeOnly.VRPs.Validate(netutil.MustPrefix("193.0.6.0/24"), 3333); got != vrp.Valid {
+		t.Errorf("ripe VRP missing from subtree validation: %v", got)
+	}
+	if got := ripeOnly.VRPs.Validate(netutil.MustPrefix("8.8.8.0/24"), 15169); got != vrp.NotFound {
+		t.Errorf("arin VRP leaked into ripe subtree: %v", got)
+	}
+	if r.ValidateAnchor(at, "nosuch").VRPs.Len() != 0 {
+		t.Error("unknown anchor should validate to an empty set")
+	}
+}

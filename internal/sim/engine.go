@@ -67,22 +67,22 @@ type Simulation struct {
 	RPs    []*RP
 	Series *TimeSeries
 
-	scenario  Scenario
+	scenario   Scenario
 	truth      map[vrp.VRP]bool
 	truthCache *vrp.Set // memoised TruthSet; nil after a mutation
 	dirty      bool
-	outage    bool // cold cache restart in progress: no flushes
-	start     time.Time
-	now       time.Time
-	end       time.Time
-	tick      int
-	session   uint16
-	err       error
-	ln        net.Listener
-	probeList *alexa.List
-	headCut   int
-	hijacks   []*Hijack
-	closed    bool
+	outage     bool // cold cache restart in progress: no flushes
+	start      time.Time
+	now        time.Time
+	end        time.Time
+	tick       int
+	session    uint16
+	err        error
+	ln         net.Listener
+	probeList  *alexa.List
+	headCut    int
+	hijacks    []*Hijack
+	closed     bool
 }
 
 // New builds a simulation: generates (or adopts) the world, validates
@@ -90,7 +90,7 @@ type Simulation struct {
 // loopback TCP, connects and seeds the relying parties, and runs the
 // scenario's Setup. Call Run (or Step) next, then Close.
 func New(cfg Config) (*Simulation, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	if cfg.Scenario == "" {
 		cfg.Scenario = "baseline"
 	}

@@ -6,6 +6,7 @@ import (
 
 	"ripki/internal/dns"
 	"ripki/internal/router"
+	"ripki/internal/rpki/repo"
 	"ripki/internal/rpki/vrp"
 	"ripki/internal/webworld"
 )
@@ -22,6 +23,9 @@ func init() {
 	Register("cdn-migration", func(p Params) Scenario { return &cdnMigration{p: p} })
 	Register("rtr-restart", func(p Params) Scenario { return &rtrRestart{p: p} })
 	Register("rp-lag", func(p Params) Scenario { return &rpLag{p: p} })
+	Register("route-leak", func(p Params) Scenario { return &routeLeak{p: p} })
+	Register("trust-anchor-outage", func(p Params) Scenario { return &taOutage{p: p} })
+	Register("delegated-ca-compromise", func(p Params) Scenario { return &caCompromise{p: p} })
 }
 
 // unsignedCDNPrefix finds the named CDN's first announced IPv4 prefix
@@ -342,7 +346,7 @@ func (r *rtrRestart) Setup(s *Simulation) error {
 	if err := churn.Setup(s); err != nil {
 		return err
 	}
-	cold := r.p.String("cold", "true") == "true"
+	cold := r.p.Bool("cold", true)
 	s.AtFrac(r.p.Float("restart_frac", 0.5), func() {
 		s.RestartCache(cold)
 	})
@@ -377,4 +381,261 @@ func (r *rpLag) DefaultRPs(p Params) []RPSpec {
 func (r *rpLag) Setup(s *Simulation) error {
 	churn := &roaChurn{p: r.p}
 	return churn.Setup(s)
+}
+
+// --- route-leak --------------------------------------------------------
+
+// routeLeak models the failure mode origin validation only half-covers:
+// a multihomed customer leaks internally deaggregated more-specifics of
+// its providers' prefixes to the world, origin intact. Leaked
+// more-specifics of tightly signed prefixes validate Invalid (a
+// maxLength violation) and drop-invalid routers discard them — but for
+// the unsigned majority the leak validates NotFound and every router
+// follows it. The gap between hijacked_legacy and hijacked_rp-* is
+// exactly the signed fraction of the leaked set. Params: leaker (ASN,
+// default 65530), count (prefixes leaked, default 12), leak_frac
+// (default 0.25), end_frac (default 0.8).
+type routeLeak struct {
+	p Params
+}
+
+func (l *routeLeak) Name() string { return "route-leak" }
+func (l *routeLeak) Description() string {
+	return "leaked more-specifics with intact origins: OV drops only the signed fraction"
+}
+
+func (l *routeLeak) Setup(s *Simulation) error {
+	leaker := uint32(l.p.Int("leaker", 65530))
+	count := l.p.Int("count", 12)
+
+	// Split the candidate pool by what the leaked more-specific would
+	// validate to, then leak a mix: the signed half shows OV working,
+	// the unsigned half shows it having nothing to say.
+	var signed, unsigned []Hijack
+	for i, p := range s.World.RoutedV4Prefixes() {
+		if p.Bits() >= 31 {
+			continue
+		}
+		origin, ok := s.World.PinnedOriginOf(p)
+		if !ok {
+			continue
+		}
+		sub := netip.PrefixFrom(p.Addr(), p.Bits()+1)
+		h := Hijack{
+			Name:   fmt.Sprintf("leak-%d", i),
+			Prefix: sub,
+			Path:   []uint32{leaker, origin},
+			Victim: webworld.HostAddr(sub, 3),
+		}
+		switch s.TruthSet().Validate(sub, origin) {
+		case vrp.Invalid:
+			signed = append(signed, h)
+		case vrp.NotFound:
+			unsigned = append(unsigned, h)
+		}
+	}
+	leaks := make([]Hijack, 0, count)
+	nSigned := 0
+	for i := 0; len(leaks) < count && (i < len(signed) || i < len(unsigned)); i++ {
+		if i < len(signed) {
+			leaks = append(leaks, signed[i])
+			nSigned++
+		}
+		if i < len(unsigned) && len(leaks) < count {
+			leaks = append(leaks, unsigned[i])
+		}
+	}
+	if len(leaks) == 0 {
+		return fmt.Errorf("sim: no leakable prefixes in this world")
+	}
+
+	s.AtFrac(l.p.Float("leak_frac", 0.25), func() {
+		for _, h := range leaks {
+			s.StartHijack(h)
+		}
+		s.Publish(TopicBGP, fmt.Sprintf("AS%d leaks %d more-specifics (%d signed, %d unsigned)",
+			leaker, len(leaks), nSigned, len(leaks)-nSigned), nil)
+	})
+	s.AtFrac(l.p.Float("end_frac", 0.8), func() {
+		for _, h := range leaks {
+			s.EndHijack(h.Name)
+		}
+	})
+	return nil
+}
+
+// --- trust-anchor-outage -----------------------------------------------
+
+// taOutage takes one RIR's publication point dark: every VRP under that
+// trust anchor vanishes from what relying parties can fetch, previously
+// protected prefixes fall back to NotFound, and a hijack launched inside
+// the outage window sails through even drop-invalid routers — the ROA
+// that would have branded it Invalid is unreachable. Slow-refreshing RPs
+// keep validating on their stale (complete) snapshot, so for once lag
+// *protects*. Recovery restores the subtree and the hijack dies at each
+// RP's next refresh. Params: ta (RIR name; default: the anchor holding
+// the most VRPs), attacker (default 65533), attack (default true),
+// outage_frac (0.15), attack_frac (0.3), restore_frac (0.6), end_frac
+// (0.9).
+type taOutage struct {
+	p Params
+}
+
+func (o *taOutage) Name() string { return "trust-anchor-outage" }
+func (o *taOutage) Description() string {
+	return "one RIR trust anchor goes dark: its whole VRP subtree vanishes until recovery"
+}
+
+func (o *taOutage) Setup(s *Simulation) error {
+	name := o.p.String("ta", "")
+	var lost []vrp.VRP
+	if name != "" {
+		lost = o.anchorTruth(s, name)
+	} else {
+		// Default to the anchor whose subtree holds the most ground-truth
+		// VRPs, ties broken by RIR roster order.
+		for _, cand := range repo.RIRNames {
+			vs := o.anchorTruth(s, cand)
+			if len(vs) > len(lost) {
+				name, lost = cand, vs
+			}
+		}
+	}
+	if len(lost) == 0 {
+		return fmt.Errorf("sim: trust anchor %q holds no validated VRPs in this world", name)
+	}
+
+	s.AtFrac(o.p.Float("outage_frac", 0.15), func() {
+		s.Publish(TopicRTR, fmt.Sprintf("trust anchor %s dark: %d VRPs lost", name, len(lost)), nil)
+		for _, v := range lost {
+			s.RevokeVRP(v, "TA "+name+" outage")
+		}
+	})
+	s.AtFrac(o.p.Float("restore_frac", 0.6), func() {
+		s.Publish(TopicRTR, fmt.Sprintf("trust anchor %s recovered: %d VRPs restored", name, len(lost)), nil)
+		for _, v := range lost {
+			s.IssueVRP(v, "TA "+name+" recovery")
+		}
+	})
+
+	if o.p.Bool("attack", true) {
+		sub, victim, err := o.outageTarget(s, lost)
+		if err != nil {
+			return err
+		}
+		attacker := uint32(o.p.Int("attacker", 65533))
+		s.AtFrac(o.p.Float("attack_frac", 0.3), func() {
+			s.StartHijack(Hijack{Name: "outage-window", Prefix: sub, Path: []uint32{attacker}, Victim: victim})
+		})
+		s.AtFrac(o.p.Float("end_frac", 0.9), func() {
+			s.EndHijack("outage-window")
+		})
+	}
+	return nil
+}
+
+// anchorTruth returns the ground-truth VRPs living under the named
+// trust anchor, in VRP sort order.
+func (o *taOutage) anchorTruth(s *Simulation, name string) []vrp.VRP {
+	res := s.World.Repo.ValidateAnchor(s.Start(), name)
+	var out []vrp.VRP
+	for _, v := range res.VRPs.All() {
+		if s.HasVRP(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// outageTarget picks the attack: a sub-prefix that is Invalid while the
+// RPKI is whole but NotFound once the anchor's subtree is gone — i.e.
+// covered only by a tightly signed VRP the outage removes.
+func (o *taOutage) outageTarget(s *Simulation, lost []vrp.VRP) (netip.Prefix, netip.Addr, error) {
+	remaining := make([]vrp.VRP, 0, len(s.truth))
+	gone := make(map[vrp.VRP]bool, len(lost))
+	for _, v := range lost {
+		gone[v] = true
+	}
+	for _, v := range s.TruthVRPs() {
+		if !gone[v] {
+			remaining = append(remaining, v)
+		}
+	}
+	rest, err := vrp.FromVRPs(remaining)
+	if err != nil {
+		return netip.Prefix{}, netip.Addr{}, err
+	}
+	for _, v := range lost {
+		if !v.Prefix.Addr().Is4() || v.MaxLength != v.Prefix.Bits() || v.Prefix.Bits() > 28 {
+			continue
+		}
+		if origin, ok := s.World.PinnedOriginOf(v.Prefix); !ok || origin != v.ASN {
+			continue
+		}
+		sub := netip.PrefixFrom(v.Prefix.Addr(), v.Prefix.Bits()+2)
+		if s.TruthSet().Validate(sub, 0) == vrp.Invalid && rest.Validate(sub, 0) == vrp.NotFound {
+			return sub, webworld.HostAddr(sub, 5), nil
+		}
+	}
+	return netip.Prefix{}, netip.Addr{}, fmt.Errorf("sim: no hijackable prefix under the outaged trust anchor")
+}
+
+// --- delegated-ca-compromise -------------------------------------------
+
+// caCompromise turns the RPKI itself into the attack vector: a
+// compromised delegated CA issues a rogue ROA authorising the attacker's
+// AS for a sub-prefix of a properly signed aggregate. Once relying
+// parties sync the rogue payload the attacker's announcement validates
+// *Valid* — drop-invalid routers accept the hijack, and RPs still on a
+// pre-compromise snapshot drop it (stale caches briefly protect, the
+// mirror image of the hijack-window story). Revoking the rogue ROA makes
+// the announcement Invalid under the victim's own tight ROA, and each RP
+// sheds it at its next refresh. Params: attacker (default 65532),
+// compromise_frac (0.2), attack_frac (0.35), revoke_frac (0.65),
+// end_frac (0.9).
+type caCompromise struct {
+	p Params
+}
+
+func (c *caCompromise) Name() string { return "delegated-ca-compromise" }
+func (c *caCompromise) Description() string {
+	return "a compromised CA's rogue ROA makes the attacker's hijack validate Valid until revoked"
+}
+
+func (c *caCompromise) Setup(s *Simulation) error {
+	attacker := uint32(c.p.Int("attacker", 65532))
+
+	// The victim: a tightly signed, announced aggregate, so that without
+	// the rogue ROA the attack is cleanly Invalid.
+	var tight vrp.VRP
+	found := false
+	for _, v := range s.TruthVRPs() {
+		if !v.Prefix.Addr().Is4() || v.MaxLength != v.Prefix.Bits() || v.Prefix.Bits() > 28 {
+			continue
+		}
+		if origin, ok := s.World.PinnedOriginOf(v.Prefix); ok && origin == v.ASN {
+			tight = v
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("sim: no tightly signed aggregate to compromise")
+	}
+	sub := netip.PrefixFrom(tight.Prefix.Addr(), tight.Prefix.Bits()+2)
+	rogue := vrp.VRP{Prefix: sub, MaxLength: sub.Bits(), ASN: attacker}
+
+	s.AtFrac(c.p.Float("compromise_frac", 0.2), func() {
+		s.IssueVRP(rogue, "rogue ROA from compromised delegated CA")
+	})
+	s.AtFrac(c.p.Float("attack_frac", 0.35), func() {
+		s.StartHijack(Hijack{Name: "ca-compromise", Prefix: sub, Path: []uint32{attacker}, Victim: webworld.HostAddr(sub, 11)})
+	})
+	s.AtFrac(c.p.Float("revoke_frac", 0.65), func() {
+		s.RevokeVRP(rogue, "rogue ROA revoked, CA re-keyed")
+	})
+	s.AtFrac(c.p.Float("end_frac", 0.9), func() {
+		s.EndHijack("ca-compromise")
+	})
+	return nil
 }

@@ -84,6 +84,17 @@ func (p Params) String(key, def string) string {
 	return def
 }
 
+// Bool returns the parameter as a bool, accepting every spelling
+// strconv.ParseBool does (1/t/true/True, 0/f/false/False).
+func (p Params) Bool(key string, def bool) bool {
+	if s, ok := p[key]; ok {
+		if v, err := strconv.ParseBool(s); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
 // Scenario seeds a simulation with events. Setup runs once after the
 // world, cache, and relying parties exist but before the clock starts;
 // it schedules the scenario's events (which may schedule further
@@ -144,7 +155,10 @@ type Config struct {
 	World *webworld.World
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns the config with unset fields filled in — the
+// values New will actually run with. Sweep planning normalises grid
+// cells through this so labels and tables show effective values.
+func (c Config) WithDefaults() Config {
 	if c.Domains == 0 {
 		c.Domains = 20000
 	}

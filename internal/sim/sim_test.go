@@ -262,3 +262,126 @@ func TestStepAndClose(t *testing.T) {
 		t.Errorf("double close: %v", err)
 	}
 }
+
+// TestRouteLeak checks OV's partial answer to leaks: the accept-all
+// legacy router follows every leaked more-specific, drop-invalid routers
+// follow only the unsigned ones, and the run ends clean.
+func TestRouteLeak(t *testing.T) {
+	ts, _ := runTSV(t, testConfig("route-leak"))
+	active := ts.Column("hijacks")
+	fast := ts.Column("hijacked_rp-fast")
+	legacy := ts.Column("hijacked_legacy")
+	peak := 0.0
+	peakFast, peakLegacy := 0.0, 0.0
+	for i := range active {
+		if active[i] > peak {
+			peak = active[i]
+		}
+		if fast[i] > peakFast {
+			peakFast = fast[i]
+		}
+		if legacy[i] > peakLegacy {
+			peakLegacy = legacy[i]
+		}
+	}
+	if peak == 0 {
+		t.Fatal("no leaks were ever active")
+	}
+	if peakLegacy != peak {
+		t.Errorf("legacy followed %v of %v leaks, want all", peakLegacy, peak)
+	}
+	if peakFast == 0 {
+		t.Error("drop-invalid router followed no leaks — the unsigned fraction should get through")
+	}
+	if peakFast >= peakLegacy {
+		t.Errorf("drop-invalid followed %v leaks, legacy %v: OV should have dropped the signed fraction", peakFast, peakLegacy)
+	}
+	last := len(active) - 1
+	if active[last] != 0 || legacy[last] != 0 {
+		t.Errorf("leaks still active at the end: active=%v legacy=%v", active[last], legacy[last])
+	}
+}
+
+// TestTrustAnchorOutage checks the outage story: the truth VRP count
+// collapses and recovers, the mid-outage hijack lands on the fast
+// validating router (the protecting ROA is gone), and everyone is clean
+// after recovery + refresh.
+func TestTrustAnchorOutage(t *testing.T) {
+	ts, _ := runTSV(t, testConfig("trust-anchor-outage"))
+	vrps := ts.Column("vrps")
+	fast := ts.Column("hijacked_rp-fast")
+	legacy := ts.Column("hijacked_legacy")
+	minVRPs, maxVRPs := vrps[0], vrps[0]
+	for _, v := range vrps {
+		if v < minVRPs {
+			minVRPs = v
+		}
+		if v > maxVRPs {
+			maxVRPs = v
+		}
+	}
+	if minVRPs >= maxVRPs {
+		t.Errorf("VRP count never dropped during the outage: min=%v max=%v", minVRPs, maxVRPs)
+	}
+	last := len(vrps) - 1
+	if vrps[last] != vrps[0] {
+		t.Errorf("VRP count did not recover: start=%v end=%v", vrps[0], vrps[last])
+	}
+	window := func(col []float64) int {
+		n := 0
+		for _, v := range col {
+			n += int(v)
+		}
+		return n
+	}
+	if window(legacy) == 0 {
+		t.Fatal("mid-outage hijack never landed on the legacy router")
+	}
+	if window(fast) == 0 {
+		t.Error("drop-invalid router never hijacked: with the TA dark the hijack validates NotFound")
+	}
+	if fast[last] != 0 || legacy[last] != 0 {
+		t.Errorf("hijack survived recovery: fast=%v legacy=%v", fast[last], legacy[last])
+	}
+}
+
+// TestDelegatedCACompromise checks the rogue-ROA story: the hijack
+// validates Valid on synced drop-invalid routers, and revoking the rogue
+// ROA kills it.
+func TestDelegatedCACompromise(t *testing.T) {
+	ts, _ := runTSV(t, testConfig("delegated-ca-compromise"))
+	fast := ts.Column("hijacked_rp-fast")
+	vrps := ts.Column("vrps")
+	hijackedEver := false
+	for _, v := range fast {
+		if v > 0 {
+			hijackedEver = true
+		}
+	}
+	if !hijackedEver {
+		t.Error("drop-invalid router never hijacked: the rogue ROA should have validated the attack")
+	}
+	last := len(fast) - 1
+	if fast[last] != 0 {
+		t.Error("hijack survived the rogue ROA revocation")
+	}
+	if vrps[last] != vrps[0] {
+		t.Errorf("rogue ROA not cleaned up: vrps %v -> %v", vrps[0], vrps[last])
+	}
+}
+
+func TestParamsBool(t *testing.T) {
+	p := Params{"a": "1", "b": "False", "c": "yes"}
+	if !p.Bool("a", false) {
+		t.Error(`Bool("1") = false`)
+	}
+	if p.Bool("b", true) {
+		t.Error(`Bool("False") = true`)
+	}
+	if !p.Bool("c", true) || p.Bool("c", false) {
+		t.Error("malformed value should fall back to the default")
+	}
+	if !p.Bool("absent", true) {
+		t.Error("absent key should fall back to the default")
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+
+	"ripki/internal/stats"
 )
 
 // TimeSeries is the simulation's output: one row per probe sample plus
@@ -50,10 +53,14 @@ func (ts *TimeSeries) Column(name string) []float64 {
 	return out
 }
 
-// formatValue renders a cell: integers without a fraction, everything
-// else in shortest round-trip form. strconv is deterministic, so the
-// byte-identical-output guarantee holds.
-func formatValue(v float64) string {
+// FormatValue renders a cell: integers without a fraction, NaN as
+// "NaN", everything else in shortest round-trip form. strconv is
+// deterministic, so the byte-identical-output guarantee holds; the
+// sweep aggregator uses the same rendering for its tables.
+func FormatValue(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
 	if v == float64(int64(v)) {
 		return strconv.FormatInt(int64(v), 10)
 	}
@@ -87,7 +94,7 @@ func (ts *TimeSeries) WriteTSV(w io.Writer) error {
 					return err
 				}
 			}
-			if _, err := bw.WriteString(formatValue(v)); err != nil {
+			if _, err := bw.WriteString(FormatValue(v)); err != nil {
 				return err
 			}
 		}
@@ -96,6 +103,27 @@ func (ts *TimeSeries) WriteTSV(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// MarshalJSON encodes the series with NaN row values rendered as null —
+// a probe column can legitimately be NaN (an empty rank bin), and that
+// must not make the whole export fail.
+func (ts *TimeSeries) MarshalJSON() ([]byte, error) {
+	rows := make([][]stats.JSONFloat, len(ts.Rows))
+	for i, r := range ts.Rows {
+		rows[i] = make([]stats.JSONFloat, len(r))
+		for j, v := range r {
+			rows[i][j] = stats.JSONFloat(v)
+		}
+	}
+	return json.Marshal(struct {
+		Scenario string              `json:"scenario"`
+		Seed     int64               `json:"seed"`
+		Meta     string              `json:"meta"`
+		Columns  []string            `json:"columns"`
+		Rows     [][]stats.JSONFloat `json:"rows"`
+		Events   []Event             `json:"events"`
+	}{ts.Scenario, ts.Seed, ts.Meta, ts.Columns, rows, ts.Events})
 }
 
 // WriteJSON emits the full series (rows and event log) as one JSON

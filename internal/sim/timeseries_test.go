@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func nanSeries() *TimeSeries {
+	return &TimeSeries{
+		Scenario: "test",
+		Seed:     7,
+		Meta:     "domains=1",
+		Columns:  []string{"t", "valid", "head_valid"},
+		Rows: [][]float64{
+			{0, 0.5, math.NaN()},
+			{30, 0.25, 1},
+		},
+	}
+}
+
+func TestColumnUnknown(t *testing.T) {
+	ts := nanSeries()
+	if got := ts.Column("no-such-column"); got != nil {
+		t.Errorf("Column on unknown name = %v, want nil", got)
+	}
+	if got := ts.Column(""); got != nil {
+		t.Errorf("Column(\"\") = %v, want nil", got)
+	}
+	if got := ts.Column("valid"); len(got) != 2 || got[0] != 0.5 || got[1] != 0.25 {
+		t.Errorf("Column(valid) = %v", got)
+	}
+}
+
+func TestWriteTSVNaN(t *testing.T) {
+	ts := nanSeries()
+	var a, b bytes.Buffer
+	if err := ts.WriteTSV(&a); err != nil {
+		t.Fatalf("WriteTSV with NaN: %v", err)
+	}
+	if err := ts.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("NaN rendering not deterministic")
+	}
+	lines := strings.Split(a.String(), "\n")
+	if want := "0\t0.5\tNaN"; lines[2] != want {
+		t.Errorf("NaN row = %q, want %q", lines[2], want)
+	}
+}
+
+func TestWriteJSONNaN(t *testing.T) {
+	ts := nanSeries()
+	var a, b bytes.Buffer
+	if err := ts.WriteJSON(&a); err != nil {
+		t.Fatalf("WriteJSON with NaN: %v", err)
+	}
+	if err := ts.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("NaN JSON rendering not deterministic")
+	}
+	var decoded struct {
+		Columns []string     `json:"columns"`
+		Rows    [][]*float64 `json:"rows"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, a.String())
+	}
+	if decoded.Rows[0][2] != nil {
+		t.Errorf("NaN cell decoded to %v, want null", *decoded.Rows[0][2])
+	}
+	if decoded.Rows[0][1] == nil || *decoded.Rows[0][1] != 0.5 {
+		t.Error("finite cell did not round-trip")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {42, "42"}, {-3, "-3"}, {0.25, "0.25"}, {math.NaN(), "NaN"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -7,11 +7,107 @@ package stats
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"sort"
+	"strconv"
 	"strings"
 )
+
+// Summary is the five-number-plus-mean description of a sample:
+// count/min/max/mean and the 50th/95th percentiles. Sweeps fold each
+// simulated tick's cross-run values into one Summary per metric.
+type Summary struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+}
+
+// Summarize describes a sample. NaN values are skipped — an empty
+// Binner bin reports NaN, and one empty bin must not poison a whole
+// sweep aggregate. With no finite values every statistic is NaN and
+// Count is zero.
+func Summarize(vs []float64) Summary {
+	finite := make([]float64, 0, len(vs))
+	for _, v := range vs {
+		if !math.IsNaN(v) {
+			finite = append(finite, v)
+		}
+	}
+	s := Summary{Count: len(finite), Min: math.NaN(), Max: math.NaN(), Mean: math.NaN(), P50: math.NaN(), P95: math.NaN()}
+	if len(finite) == 0 {
+		return s
+	}
+	sort.Float64s(finite)
+	var sum float64
+	for _, v := range finite {
+		sum += v
+	}
+	s.Min = finite[0]
+	s.Max = finite[len(finite)-1]
+	s.Mean = sum / float64(len(finite))
+	s.P50 = Percentile(finite, 50)
+	s.P95 = Percentile(finite, 95)
+	return s
+}
+
+// Percentile returns the p-th percentile (0–100) of an ascending-sorted
+// sample, with linear interpolation between closest ranks. NaN for an
+// empty sample.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// JSONFloat is a float64 that encodes non-finite values as null —
+// encoding/json rejects NaN outright, and the sim/sweep exports must
+// serialise even where a metric has nothing to report. The single
+// rendering rule every JSON surface shares.
+type JSONFloat float64
+
+// MarshalJSON renders the number, or null when it is not finite.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// MarshalJSON renders non-finite statistics as null, so an empty cell
+// cannot fail a whole sweep export.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Count int       `json:"count"`
+		Min   JSONFloat `json:"min"`
+		Max   JSONFloat `json:"max"`
+		Mean  JSONFloat `json:"mean"`
+		P50   JSONFloat `json:"p50"`
+		P95   JSONFloat `json:"p95"`
+	}{s.Count, JSONFloat(s.Min), JSONFloat(s.Max), JSONFloat(s.Mean), JSONFloat(s.P50), JSONFloat(s.P95)})
+}
 
 // Binner accumulates per-rank observations into fixed-width rank bins.
 // Values are probabilities or indicator weights; each bin reports the

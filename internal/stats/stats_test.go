@@ -2,6 +2,7 @@ package stats
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -144,5 +145,78 @@ func TestTableRendering(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "cdncache1-a.akamaihd.net") {
 		t.Errorf("aligned:\n%s", buf.String())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	// p95 of [1..5]: pos = 0.95*4 = 3.8 → 4*(0.2) + 5*(0.8) = 4.8.
+	if math.Abs(s.P95-4.8) > 1e-9 {
+		t.Errorf("P95 = %v, want 4.8", s.P95)
+	}
+}
+
+func TestSummarizeSkipsNaN(t *testing.T) {
+	s := Summarize([]float64{math.NaN(), 2, math.NaN(), 4})
+	if s.Count != 2 || s.Min != 2 || s.Max != 4 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("Summarize with NaN = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	for _, vs := range [][]float64{nil, {}, {math.NaN(), math.NaN()}} {
+		s := Summarize(vs)
+		if s.Count != 0 {
+			t.Errorf("Count = %d for %v", s.Count, vs)
+		}
+		for name, v := range map[string]float64{"min": s.Min, "max": s.Max, "mean": s.Mean, "p50": s.P50, "p95": s.P95} {
+			if !math.IsNaN(v) {
+				t.Errorf("%s = %v for empty sample, want NaN", name, v)
+			}
+		}
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Count != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.P50 != 7 || s.P95 != 7 {
+		t.Errorf("Summarize single = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {-5, 10}, {150, 40},
+		{50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty sample not NaN")
+	}
+}
+
+func TestSummaryMarshalJSONNaN(t *testing.T) {
+	b, err := json.Marshal(Summarize(nil))
+	if err != nil {
+		t.Fatalf("marshal empty summary: %v", err)
+	}
+	want := `{"count":0,"min":null,"max":null,"mean":null,"p50":null,"p95":null}`
+	if string(b) != want {
+		t.Errorf("got %s, want %s", b, want)
+	}
+	b, err = json.Marshal(Summarize([]float64{1, 2, 3}))
+	if err != nil {
+		t.Fatalf("marshal summary: %v", err)
+	}
+	if !strings.Contains(string(b), `"mean":2`) || strings.Contains(string(b), "null") {
+		t.Errorf("finite summary rendered wrong: %s", b)
 	}
 }

@@ -1,0 +1,42 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkSweep measures simulated runs/sec on a 32-run grid at rising
+// worker counts — the scaling trajectory for future BENCH snapshots.
+// Each run is a full world: generation, validation, an RTR cache over
+// loopback TCP, three relying parties, and ~24 ticks of events.
+func BenchmarkSweep(b *testing.B) {
+	grid := Grid{
+		Scenarios:     []string{"baseline", "roa-churn", "hijack-window", "route-leak"},
+		MasterSeed:    1,
+		Replicates:    8, // × 4 scenarios = 32 runs
+		Domains:       []int{1500},
+		Ticks:         []time.Duration{10 * time.Second},
+		Durations:     []time.Duration{4 * time.Minute},
+		SampleEvery:   []int{4},
+		SampleDomains: []int{150},
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			totalRuns := 0
+			for i := 0; i < b.N; i++ {
+				res, err := Run(grid, Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, rr := range res.Runs {
+					if rr.Err != "" {
+						b.Fatalf("run %d: %s", rr.Spec.Index, rr.Err)
+					}
+				}
+				totalRuns += len(res.Runs)
+			}
+			b.ReportMetric(float64(totalRuns)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"ripki/internal/sim"
+	"ripki/internal/stats"
+)
+
+// The sweep output contract mirrors PR 1's: the same grid + master seed
+// produce byte-identical TSV and JSON at any worker count. Everything
+// below iterates plan-ordered slices only — no maps, no wall-clock, no
+// worker identity.
+
+// WriteTSV renders the sweep as three tab-separated sections: one row
+// per run (scalar summaries), one row per cell × tick × metric (the
+// cross-run distribution), and one row per cell × relying party (hijack
+// success rates).
+func (r *Result) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	scenarios := axis(r.Plan.Grid.Scenarios, "baseline")
+	fmt.Fprintf(bw, "# ripki-sweep master_seed=%d seeds=%s scenarios=%s cells=%d runs=%d\n",
+		r.Plan.Grid.MasterSeed, formatSeeds(r.Plan.Seeds), strings.Join(scenarios, ","),
+		len(r.Cells), len(r.Runs))
+
+	fmt.Fprintln(bw, "# runs")
+	fmt.Fprintln(bw, "run\tcell\trep\tscenario\tseed\tdomains\ttick\tduration\tparams\trows\tmean_valid\tmin_valid\tfinal_coverage\tmax_hijacks\thijacked_rps\thijacked_ticks\terror")
+	for i := range r.Runs {
+		rr := &r.Runs[i]
+		cfg := rr.Spec.Config
+		hijackedRPs, hijackedTicks := 0, 0
+		for _, h := range rr.Hijacks {
+			if h.Success {
+				hijackedRPs++
+			}
+			hijackedTicks += h.HijackedTicks
+		}
+		errCell := "-"
+		if rr.Err != "" {
+			errCell = strings.ReplaceAll(strings.ReplaceAll(rr.Err, "\t", " "), "\n", " ")
+		}
+		fmt.Fprintf(bw, "%d\t%d\t%d\t%s\t%d\t%d\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%d\t%d\t%s\n",
+			rr.Spec.Index, rr.Spec.Cell, rr.Spec.Rep, cfg.Scenario, cfg.Seed, cfg.Domains,
+			cfg.Tick, cfg.Duration, FormatParams(cfg.Params), rr.Rows,
+			sim.FormatValue(rr.MeanValid), sim.FormatValue(rr.MinValid),
+			sim.FormatValue(rr.FinalCoverage), sim.FormatValue(rr.MaxHijacks),
+			hijackedRPs, hijackedTicks, errCell)
+	}
+
+	fmt.Fprintln(bw, "# cell ticks")
+	fmt.Fprintln(bw, "cell\tscenario\ttick\tt\tmetric\tcount\tmin\tmean\tmax\tp50\tp95")
+	for ci := range r.Cells {
+		cell := &r.Cells[ci]
+		for _, ta := range cell.Ticks {
+			for mi, name := range cell.Columns {
+				s := ta.Metrics[mi]
+				fmt.Fprintf(bw, "%d\t%s\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+					cell.Index, cell.Scenario, sim.FormatValue(ta.Tick), sim.FormatValue(ta.T), name,
+					s.Count, sim.FormatValue(s.Min), sim.FormatValue(s.Mean),
+					sim.FormatValue(s.Max), sim.FormatValue(s.P50), sim.FormatValue(s.P95))
+			}
+		}
+	}
+
+	fmt.Fprintln(bw, "# cell hijack rates")
+	fmt.Fprintln(bw, "cell\tscenario\tlabel\trp\truns\tsuccess_rate\tmean_hijacked_ticks")
+	for ci := range r.Cells {
+		cell := &r.Cells[ci]
+		for _, h := range cell.Hijacks {
+			fmt.Fprintf(bw, "%d\t%s\t%s\t%s\t%d\t%s\t%s\n",
+				cell.Index, cell.Scenario, cell.Label, h.RP, h.Runs,
+				sim.FormatValue(h.SuccessRate), sim.FormatValue(h.MeanHijackedTicks))
+		}
+	}
+	return bw.Flush()
+}
+
+// runJSON is the serialised view of one run: spec identity plus scalar
+// summaries, no full series (those fold into the cell aggregates).
+type runJSON struct {
+	Run           int               `json:"run"`
+	Cell          int               `json:"cell"`
+	Rep           int               `json:"rep"`
+	Scenario      string            `json:"scenario"`
+	Seed          int64             `json:"seed"`
+	Domains       int               `json:"domains"`
+	Tick          string            `json:"tick"`
+	Duration      string            `json:"duration"`
+	Params        map[string]string `json:"params,omitempty"`
+	Rows          int               `json:"rows"`
+	Error         string            `json:"error,omitempty"`
+	MeanValid     stats.JSONFloat   `json:"mean_valid"`
+	MinValid      stats.JSONFloat   `json:"min_valid"`
+	FinalCoverage stats.JSONFloat   `json:"final_coverage"`
+	MaxHijacks    stats.JSONFloat   `json:"max_hijacks"`
+	Hijacks       []RPHijack        `json:"hijacks,omitempty"`
+}
+
+// WriteJSON emits the sweep as one document: grid identity, per-cell
+// aggregates, and per-run summaries.
+func (r *Result) WriteJSON(w io.Writer) error {
+	runs := make([]runJSON, len(r.Runs))
+	for i := range r.Runs {
+		rr := &r.Runs[i]
+		cfg := rr.Spec.Config
+		runs[i] = runJSON{
+			Run:       rr.Spec.Index,
+			Cell:      rr.Spec.Cell,
+			Rep:       rr.Spec.Rep,
+			Scenario:  cfg.Scenario,
+			Seed:      cfg.Seed,
+			Domains:   cfg.Domains,
+			Tick:      cfg.Tick.String(),
+			Duration:  cfg.Duration.String(),
+			Params:    cfg.Params,
+			Rows:      rr.Rows,
+			Error:     rr.Err,
+			MeanValid: stats.JSONFloat(rr.MeanValid), MinValid: stats.JSONFloat(rr.MinValid),
+			FinalCoverage: stats.JSONFloat(rr.FinalCoverage), MaxHijacks: stats.JSONFloat(rr.MaxHijacks),
+			Hijacks: rr.Hijacks,
+		}
+	}
+	doc := struct {
+		MasterSeed int64     `json:"master_seed"`
+		Seeds      []int64   `json:"seeds"`
+		Scenarios  []string  `json:"scenarios"`
+		Cells      []Cell    `json:"cells"`
+		Runs       []runJSON `json:"runs"`
+	}{
+		MasterSeed: r.Plan.Grid.MasterSeed,
+		Seeds:      r.Plan.Seeds,
+		Scenarios:  axis(r.Plan.Grid.Scenarios, "baseline"),
+		Cells:      r.Cells,
+		Runs:       runs,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// formatSeeds renders the seed axis compactly for the TSV header.
+func formatSeeds(seeds []int64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = strconv.FormatInt(s, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+// gridJSON is the grid-file schema: Grid with durations as strings
+// ("30s", "10m"), the way humans write them.
+type gridJSON struct {
+	Grid
+	Ticks     []string `json:"ticks,omitempty"`
+	Durations []string `json:"durations,omitempty"`
+}
+
+// ParseGrid reads a JSON grid file. Unknown fields are rejected, so a
+// typo'd axis name fails loudly instead of silently sweeping nothing.
+func ParseGrid(data []byte) (Grid, error) {
+	var gj gridJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&gj); err != nil {
+		return Grid{}, fmt.Errorf("sweep: parsing grid: %w", err)
+	}
+	g := gj.Grid
+	for _, s := range gj.Ticks {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return Grid{}, fmt.Errorf("sweep: grid tick %q: %w", s, err)
+		}
+		g.Ticks = append(g.Ticks, d)
+	}
+	for _, s := range gj.Durations {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return Grid{}, fmt.Errorf("sweep: grid duration %q: %w", s, err)
+		}
+		g.Durations = append(g.Durations, d)
+	}
+	return g, nil
+}

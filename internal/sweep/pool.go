@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"ripki/internal/sim"
+	"ripki/internal/stats"
+)
+
+// Options controls sweep execution. Only scheduling lives here — nothing
+// in Options may influence the aggregated output bytes.
+type Options struct {
+	// Workers is the number of concurrent simulations (default
+	// GOMAXPROCS). Output is byte-identical at any value.
+	Workers int
+	// Progress, when set, is called after each completed run with the
+	// completion count. Runs finish in scheduling order, not grid order;
+	// progress is presentation only.
+	Progress func(done, total int, r *RunResult)
+}
+
+// RPHijack is one relying party's hijack outcome in one run.
+type RPHijack struct {
+	// RP names the relying party.
+	RP string `json:"rp"`
+	// HijackedTicks counts sampled ticks with at least one active
+	// hijack forwarded by this RP.
+	HijackedTicks int `json:"hijacked_ticks"`
+	// Success is whether the RP ever forwarded to a hijacked prefix.
+	Success bool `json:"success"`
+}
+
+// RunResult is one completed simulation plus its scalar summary.
+type RunResult struct {
+	Spec RunSpec
+	// Series is the run's full time series (nil when the run failed);
+	// the aggregator folds it, the JSON export carries only summaries.
+	Series *sim.TimeSeries `json:"-"`
+	// Err is the run's failure, empty on success.
+	Err string `json:"error,omitempty"`
+	// Rows is the number of recorded samples.
+	Rows int `json:"rows"`
+	// MeanValid / MinValid / FinalCoverage / MaxHijacks summarise the
+	// run's exposure columns.
+	MeanValid     float64 `json:"mean_valid"`
+	MinValid      float64 `json:"min_valid"`
+	FinalCoverage float64 `json:"final_coverage"`
+	MaxHijacks    float64 `json:"max_hijacks"`
+	// Hijacks is the per-RP attack outcome.
+	Hijacks []RPHijack `json:"hijacks"`
+}
+
+// Result is a completed sweep: the plan, every run in grid order, and
+// the per-cell aggregates.
+type Result struct {
+	Plan  *Plan
+	Runs  []RunResult
+	Cells []Cell
+}
+
+// Run expands the grid, shards the runs across a worker pool, and
+// aggregates. Individual run failures are recorded in their RunResult
+// (and excluded from aggregates), not fatal; only a malformed grid
+// errors.
+func Run(g Grid, opt Options) (*Result, error) {
+	plan, err := g.Plan()
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plan.Specs) {
+		workers = len(plan.Specs)
+	}
+
+	// Results land at their grid index no matter which worker ran them
+	// or when; nothing downstream can observe completion order.
+	results := make([]RunResult, len(plan.Specs))
+	jobs := make(chan int)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				rr := runOne(plan.Specs[idx])
+				results[idx] = rr
+				if opt.Progress != nil {
+					mu.Lock()
+					done++
+					opt.Progress(done, len(plan.Specs), &results[idx])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for idx := range plan.Specs {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	return &Result{Plan: plan, Runs: results, Cells: aggregate(plan, results)}, nil
+}
+
+// runOne executes one spec and summarises its series.
+func runOne(spec RunSpec) RunResult {
+	rr := RunResult{Spec: spec}
+	series, err := sim.RunScenario(spec.Config)
+	if err != nil {
+		rr.Err = err.Error()
+		return rr
+	}
+	rr.Series = series
+	rr.Rows = len(series.Rows)
+	if valid := series.Column("valid"); valid != nil {
+		s := stats.Summarize(valid)
+		rr.MeanValid, rr.MinValid = s.Mean, s.Min
+	}
+	if cov := series.Column("coverage"); len(cov) > 0 {
+		rr.FinalCoverage = cov[len(cov)-1]
+	}
+	if hj := series.Column("hijacks"); hj != nil {
+		rr.MaxHijacks = stats.Summarize(hj).Max
+	}
+	for _, col := range series.Columns {
+		rp, ok := strings.CutPrefix(col, "hijacked_")
+		if !ok {
+			continue
+		}
+		h := RPHijack{RP: rp}
+		for _, v := range series.Column(col) {
+			if v > 0 {
+				h.HijackedTicks++
+			}
+		}
+		h.Success = h.HijackedTicks > 0
+		rr.Hijacks = append(rr.Hijacks, h)
+	}
+	return rr
+}
+
+// String renders a run for progress lines.
+func (rr *RunResult) String() string {
+	status := "ok"
+	if rr.Err != "" {
+		status = "ERROR " + rr.Err
+	}
+	return fmt.Sprintf("run %d cell %d seed %d %s: %s",
+		rr.Spec.Index, rr.Spec.Cell, rr.Spec.Config.Seed, rr.Spec.Config.Scenario, status)
+}

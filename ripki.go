@@ -46,6 +46,7 @@ import (
 	"ripki/internal/rtr"
 	"ripki/internal/sim"
 	"ripki/internal/stats"
+	"ripki/internal/sweep"
 	"ripki/internal/webworld"
 )
 
@@ -279,3 +280,36 @@ func DescribeScenario(name string) string { return sim.Describe(name) }
 
 // RegisterScenario adds a scenario to the registry under its name.
 func RegisterScenario(name string, f func(SimParams) Scenario) { sim.Register(name, f) }
+
+// --- sweeps ------------------------------------------------------------
+
+// Re-exported sweep types: parameter grids of simulations sharded
+// across a worker pool with deterministic cross-run aggregation.
+type (
+	// SweepGrid is a parameter grid (scenario × seed × any SimConfig
+	// knob); its cross product is the run list.
+	SweepGrid = sweep.Grid
+	// SweepOptions controls execution (worker count, progress); nothing
+	// in it can change the output bytes.
+	SweepOptions = sweep.Options
+	// SweepResult is a completed sweep: runs in grid order plus
+	// per-cell aggregates, exported via WriteTSV / WriteJSON.
+	SweepResult = sweep.Result
+	// SweepRunResult is one run's scalar summary.
+	SweepRunResult = sweep.RunResult
+	// SweepCell is one cell's cross-run aggregate (per-tick summaries,
+	// per-RP hijack-success rates).
+	SweepCell = sweep.Cell
+	// StatsSummary is the count/min/max/mean/p50/p95 description sweep
+	// aggregation folds each metric into.
+	StatsSummary = stats.Summary
+)
+
+// RunSweep expands the grid, runs every simulation across the worker
+// pool, and aggregates. Same grid + master seed ⇒ byte-identical output
+// at any worker count.
+func RunSweep(g SweepGrid, opt SweepOptions) (*SweepResult, error) { return sweep.Run(g, opt) }
+
+// ParseSweepGrid reads a JSON grid file (durations as strings, unknown
+// fields rejected).
+func ParseSweepGrid(data []byte) (SweepGrid, error) { return sweep.ParseGrid(data) }
