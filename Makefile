@@ -1,0 +1,49 @@
+# Developer and CI entry points. The benchmark-regression gate keeps
+# BENCH_baseline.json honest: `make bench-check` fails when ns/op or
+# B/op of a gated benchmark worsens by >30% against the committed
+# baseline; `make bench-baseline` refreshes it (run on the reference
+# machine — ns/op baselines are machine-relative, B/op is portable).
+
+GO          ?= go
+BENCH_COUNT ?= 3
+BENCH_FILE  ?= BENCH_baseline.json
+# ns/op threshold for bench-check. 0.30 on the baseline machine; CI
+# passes a looser value (see .github/workflows/ci.yml) to absorb
+# runner-vs-baseline hardware skew — B/op always stays at 30%.
+BENCH_NS_THRESHOLD ?= 0.30
+
+.PHONY: build test race vet fmt-check bench bench-baseline bench-check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs gofmt; prints the offenders.
+fmt-check:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$files"; exit 1; \
+	fi
+
+# The gated benchmark set: the sweep engine (all execution modes) and
+# the sim engine's hot tick loop. Fixed -benchtime keeps run time
+# bounded; -count $(BENCH_COUNT) gives benchgate best-of folding.
+bench:
+	@$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 2x -benchmem -count $(BENCH_COUNT) ./internal/sweep
+	@$(GO) test -run '^$$' -bench 'BenchmarkSimTick$$' -benchtime 200x -benchmem -count $(BENCH_COUNT) .
+
+bench-baseline:
+	@$(MAKE) --no-print-directory bench | $(GO) run ./tools/benchgate -write $(BENCH_FILE)
+
+bench-check:
+	@$(MAKE) --no-print-directory bench | $(GO) run ./tools/benchgate -check $(BENCH_FILE) -ns-threshold $(BENCH_NS_THRESHOLD)
+
+ci: build vet fmt-check test

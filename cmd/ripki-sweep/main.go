@@ -2,18 +2,29 @@
 // across a worker pool and emits deterministic cross-run aggregates:
 // per-tick min/mean/max/p50/p95 of every exposure metric and per
 // relying-party hijack-success rates, per grid cell. Same grid + master
-// seed ⇒ byte-identical output at ANY -workers value.
+// seed ⇒ byte-identical output at ANY -workers value and either
+// -share-worlds setting.
 //
 //	ripki-sweep -scenarios hijack-window,route-leak -replicates 4 -workers 8
 //	ripki-sweep -scenarios rp-lag -param slow_ticks=10,20,40 -format json
 //	ripki-sweep -grid grid.json -workers 4
 //	ripki-sweep -scenarios trust-anchor-outage -seeds 1,2,3 -domains 4000,8000
+//	ripki-sweep -scenarios roa-churn -replicates 64 -streaming
+//
+// -share-worlds (on by default) generates each distinct (seed, domains)
+// world once and clones it per run instead of regenerating; it never
+// changes the output. -streaming folds runs into online accumulators as
+// they complete, bounding memory by the grid instead of the run count;
+// its p50/p95 become estimates once a cell exceeds 25 replicates (see
+// docs/sweep.md) and its output is marked mode=streaming — still
+// byte-identical at any worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -21,6 +32,10 @@ import (
 
 	"ripki"
 )
+
+// errFlagParse marks a flag-parsing failure the FlagSet has already
+// reported to stderr, so main exits without printing it twice.
+var errFlagParse = errors.New("flag parsing failed")
 
 // listFlag parses a comma-separated axis into typed values.
 func listFlag[T any](s string, parse func(string) (T, error)) ([]T, error) {
@@ -56,88 +71,121 @@ func (p paramAxes) Set(s string) error {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ripki-sweep: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, errFlagParse) {
+			os.Exit(2) // usage error, the flag package's convention
+		}
+		fmt.Fprintf(os.Stderr, "ripki-sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command, testable: every byte it emits goes to the
+// writers it is handed. The -quiet contract is enforced here — with
+// -quiet set, NOTHING is written to stderr on a successful sweep, in
+// every path (flag axes, grid file, both formats).
+func run(args []string, stdout, stderr io.Writer) error {
 	params := paramAxes{}
+	fs := flag.NewFlagSet("ripki-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scenarios = flag.String("scenarios", "baseline",
+		scenarios = fs.String("scenarios", "baseline",
 			"comma-separated scenario axis; registered: "+strings.Join(ripki.Scenarios(), ", "))
-		gridPath      = flag.String("grid", "", "JSON grid file (overrides the axis flags)")
-		masterSeed    = flag.Int64("master-seed", 1, "master seed for per-replicate seed derivation")
-		replicates    = flag.Int("replicates", 3, "seeds derived per grid cell")
-		seeds         = flag.String("seeds", "", "explicit comma-separated seed axis (overrides -replicates)")
-		domains       = flag.String("domains", "", "comma-separated world-size axis (default: sim default)")
-		ticks         = flag.String("tick", "", "comma-separated tick axis (e.g. 10s,30s)")
-		durations     = flag.String("duration", "", "comma-separated horizon axis (e.g. 10m,30m)")
-		sampleEvery   = flag.String("sample-every", "", "comma-separated probe-cadence axis (ticks)")
-		sampleDomains = flag.String("sample-domains", "", "comma-separated probe-sample-size axis")
-		workers       = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); output is identical at any value")
-		format        = flag.String("format", "tsv", `output format: "tsv" or "json"`)
-		quiet         = flag.Bool("quiet", false, "suppress per-run progress on stderr")
+		gridPath      = fs.String("grid", "", "JSON grid file (overrides the axis flags)")
+		masterSeed    = fs.Int64("master-seed", 1, "master seed for per-replicate seed derivation")
+		replicates    = fs.Int("replicates", 3, "seeds derived per grid cell")
+		seeds         = fs.String("seeds", "", "explicit comma-separated seed axis (overrides -replicates)")
+		domains       = fs.String("domains", "", "comma-separated world-size axis (default: sim default)")
+		ticks         = fs.String("tick", "", "comma-separated tick axis (e.g. 10s,30s)")
+		durations     = fs.String("duration", "", "comma-separated horizon axis (e.g. 10m,30m)")
+		sampleEvery   = fs.String("sample-every", "", "comma-separated probe-cadence axis (ticks)")
+		sampleDomains = fs.String("sample-domains", "", "comma-separated probe-sample-size axis")
+		workers       = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); output is identical at any value")
+		shareWorlds   = fs.Bool("share-worlds", true, "generate each (seed, domains) world once and clone per run (never changes output)")
+		streaming     = fs.Bool("streaming", false, "fold runs into online accumulators (memory bounded by the grid; p50/p95 estimated past 25 replicates)")
+		format        = fs.String("format", "tsv", `output format: "tsv" or "json"`)
+		quiet         = fs.Bool("quiet", false, "suppress all progress output on stderr")
 	)
-	flag.Var(params, "param", "scenario parameter axis key=value[,value...] (repeatable, crossed)")
-	flag.Parse()
+	fs.Var(params, "param", "scenario parameter axis key=value[,value...] (repeatable, crossed)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h is a successful exit, not an error
+		}
+		return errFlagParse // already reported by the FlagSet
+	}
 
 	var grid ripki.SweepGrid
 	if *gridPath != "" {
 		data, err := os.ReadFile(*gridPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		grid, err = ripki.ParseSweepGrid(data)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	} else {
 		var err error
 		grid.Scenarios, err = listFlag(*scenarios, func(s string) (string, error) { return s, nil })
-		fatal(err)
+		if err != nil {
+			return err
+		}
 		grid.MasterSeed = *masterSeed
 		grid.Replicates = *replicates
-		grid.Seeds, err = listFlag(*seeds, func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) })
-		fatal(err)
-		grid.Domains, err = listFlag(*domains, strconv.Atoi)
-		fatal(err)
-		grid.Ticks, err = listFlag(*ticks, time.ParseDuration)
-		fatal(err)
-		grid.Durations, err = listFlag(*durations, time.ParseDuration)
-		fatal(err)
-		grid.SampleEvery, err = listFlag(*sampleEvery, strconv.Atoi)
-		fatal(err)
-		grid.SampleDomains, err = listFlag(*sampleDomains, strconv.Atoi)
-		fatal(err)
+		if grid.Seeds, err = listFlag(*seeds, func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }); err != nil {
+			return err
+		}
+		if grid.Domains, err = listFlag(*domains, strconv.Atoi); err != nil {
+			return err
+		}
+		if grid.Ticks, err = listFlag(*ticks, time.ParseDuration); err != nil {
+			return err
+		}
+		if grid.Durations, err = listFlag(*durations, time.ParseDuration); err != nil {
+			return err
+		}
+		if grid.SampleEvery, err = listFlag(*sampleEvery, strconv.Atoi); err != nil {
+			return err
+		}
+		if grid.SampleDomains, err = listFlag(*sampleDomains, strconv.Atoi); err != nil {
+			return err
+		}
 		if len(params) > 0 {
 			grid.Params = params
 		}
 	}
 
-	opt := ripki.SweepOptions{Workers: *workers}
+	// Expand once; the header and the pool share the same plan.
+	plan, err := grid.Plan()
+	if err != nil {
+		return err
+	}
+	opt := ripki.SweepOptions{Workers: *workers, ShareWorlds: *shareWorlds, Streaming: *streaming}
 	if !*quiet {
+		// The header and per-run progress share the -quiet gate: -quiet
+		// means a successful sweep writes stderr nothing at all.
+		mode := "exact"
+		if *streaming {
+			mode = "streaming"
+		}
+		fmt.Fprintf(stderr, "ripki-sweep: %d cells × %d seeds = %d runs (workers=%d share-worlds=%v mode=%s)\n",
+			len(plan.Cells), len(plan.Seeds), len(plan.Specs), *workers, *shareWorlds, mode)
 		start := time.Now()
 		opt.Progress = func(done, total int, rr *ripki.SweepRunResult) {
-			fmt.Fprintf(os.Stderr, "ripki-sweep: [%3d/%d] %s (%.1fs)\n", done, total, rr, time.Since(start).Seconds())
+			fmt.Fprintf(stderr, "ripki-sweep: [%3d/%d] %s (%.1fs)\n", done, total, rr, time.Since(start).Seconds())
 		}
 	}
-	res, err := ripki.RunSweep(grid, opt)
+	res, err := ripki.RunSweepPlan(plan, opt)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	switch *format {
 	case "tsv":
-		err = res.WriteTSV(os.Stdout)
+		return res.WriteTSV(stdout)
 	case "json":
-		err = res.WriteJSON(os.Stdout)
+		return res.WriteJSON(stdout)
 	default:
-		log.Fatalf("unknown format %q", *format)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-}
-
-func fatal(err error) {
-	if err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("unknown format %q", *format)
 	}
 }

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var fastArgs = []string{
+	"-scenarios", "baseline", "-replicates", "1",
+	"-domains", "800", "-tick", "30s", "-duration", "2m",
+	"-sample-every", "4", "-sample-domains", "50",
+}
+
+// TestQuietIsFullyQuiet is the -quiet regression test: a successful
+// sweep with -quiet writes not a single byte to stderr — no header, no
+// progress — in the flag-axes path, the grid-file path, and both output
+// formats.
+func TestQuietIsFullyQuiet(t *testing.T) {
+	gridFile := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(gridFile, []byte(`{
+		"scenarios": ["baseline"], "replicates": 1, "domains": [800],
+		"ticks": ["30s"], "durations": ["2m"],
+		"sample_every": [4], "sample_domains": [50]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]string{
+		"flag-axes-tsv":  append(append([]string{}, fastArgs...), "-quiet"),
+		"flag-axes-json": append(append([]string{}, fastArgs...), "-quiet", "-format", "json"),
+		"grid-file":      {"-grid", gridFile, "-quiet"},
+		"streaming":      append(append([]string{}, fastArgs...), "-quiet", "-streaming"),
+		"no-sharing":     append(append([]string{}, fastArgs...), "-quiet", "-share-worlds=false"),
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if err := run(args, &stdout, &stderr); err != nil {
+				t.Fatal(err)
+			}
+			if stderr.Len() != 0 {
+				t.Errorf("-quiet leaked to stderr: %q", stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Error("no output on stdout")
+			}
+		})
+	}
+}
+
+// TestHeaderOnStderrWithoutQuiet: the header and progress exist — on
+// stderr, never on stdout — when -quiet is absent.
+func TestHeaderOnStderrWithoutQuiet(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(fastArgs, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "1 cells × 1 seeds = 1 runs") {
+		t.Errorf("header missing from stderr: %q", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "[  1/1]") {
+		t.Errorf("progress missing from stderr: %q", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "ripki-sweep: [") {
+		t.Error("progress leaked onto stdout")
+	}
+}
+
+// TestStreamingMarksOutput: the streaming mode is visible in the TSV
+// header, so downstream tooling can tell estimated percentiles from
+// exact ones.
+func TestStreamingMarksOutput(t *testing.T) {
+	var exact, streamed bytes.Buffer
+	if err := run(append(append([]string{}, fastArgs...), "-quiet"), &exact, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, fastArgs...), "-quiet", "-streaming"), &streamed, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(firstLine(exact.String()), "mode=streaming") {
+		t.Error("exact output marked streaming")
+	}
+	if !strings.Contains(firstLine(streamed.String()), "mode=streaming") {
+		t.Errorf("streaming output not marked: %q", firstLine(streamed.String()))
+	}
+}
+
+// TestHelpAndBadFlags: -h is a successful exit (usage on stderr, nil
+// error) and an unknown flag reports exactly once.
+func TestHelpAndBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); err != nil {
+		t.Errorf("-h returned error: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "-share-worlds") {
+		t.Error("usage missing from -h output")
+	}
+	stderr.Reset()
+	err := run([]string{"-no-such-flag"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if got := strings.Count(stderr.String(), "flag provided but not defined"); got != 1 {
+		t.Errorf("parse error reported %d times, want 1: %q", got, stderr.String())
+	}
+	if !errors.Is(err, errFlagParse) {
+		t.Errorf("parse failure not marked pre-reported: %v", err)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

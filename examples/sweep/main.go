@@ -46,7 +46,14 @@ func main() {
 		SampleDomains: []int{400},
 	}
 
+	// ShareWorlds generates each of the 4 seed worlds once and clones it
+	// across the 3 scenarios sharing it (never changes the output);
+	// Streaming folds each run into online accumulators as it finishes,
+	// so even a replicates=10000 version of this grid would hold only
+	// per-cell state, never 10000 series.
 	res, err := ripki.RunSweep(grid, ripki.SweepOptions{
+		ShareWorlds: true,
+		Streaming:   true,
 		Progress: func(done, total int, rr *ripki.SweepRunResult) {
 			fmt.Fprintf(os.Stderr, "[%2d/%d] %s\n", done, total, rr)
 		},

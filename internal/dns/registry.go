@@ -38,6 +38,23 @@ func (r *Registry) Add(rr RR) {
 	r.mu.Unlock()
 }
 
+// Clone returns a deep copy of the registry: the copy and the original
+// can be mutated independently. Record order within each owner name is
+// preserved, so a clone resolves identically to its source. Shared-world
+// simulations clone the registry per run — it is the only part of a
+// generated world that scenarios mutate.
+func (r *Registry) Clone() *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := &Registry{records: make(map[string][]RR, len(r.records))}
+	for name, rrs := range r.records {
+		cp := make([]RR, len(rrs))
+		copy(cp, rrs)
+		c.records[name] = cp
+	}
+	return c
+}
+
 // AddCNAME is shorthand for a CNAME record.
 func (r *Registry) AddCNAME(name, target string, ttl uint32) {
 	r.Add(RR{Name: name, Type: TypeCNAME, TTL: ttl, Target: target})

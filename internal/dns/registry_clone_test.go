@@ -1,0 +1,41 @@
+package dns
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestRegistryClone(t *testing.T) {
+	r := NewRegistry()
+	r.Add(RR{Name: "a.example.", Type: TypeA, TTL: 60, Addr: netip.MustParseAddr("192.0.2.1")})
+	r.Add(RR{Name: "a.example.", Type: TypeA, TTL: 60, Addr: netip.MustParseAddr("192.0.2.2")})
+	r.AddCNAME("www.example.", "a.example.", 60)
+
+	c := r.Clone()
+	if c.Len() != r.Len() {
+		t.Fatalf("clone len %d != %d", c.Len(), r.Len())
+	}
+	// Record order is preserved, so resolution is identical.
+	orig, _ := r.Resolve("www.example.", TypeA)
+	cloned, _ := c.Resolve("www.example.", TypeA)
+	if len(orig) != len(cloned) {
+		t.Fatalf("resolve answers %d != %d", len(orig), len(cloned))
+	}
+	for i := range orig {
+		if orig[i].Name != cloned[i].Name || orig[i].Type != cloned[i].Type ||
+			orig[i].Addr != cloned[i].Addr || orig[i].Target != cloned[i].Target {
+			t.Fatalf("answer %d: %+v != %+v", i, orig[i], cloned[i])
+		}
+	}
+
+	// Divergence after cloning stays private to each side.
+	c.Remove("a.example.", TypeA)
+	c.Add(RR{Name: "a.example.", Type: TypeA, TTL: 20, Addr: netip.MustParseAddr("198.51.100.1")})
+	if got := r.Lookup("a.example.", TypeA); len(got) != 2 {
+		t.Errorf("original mutated through clone: %d A records", len(got))
+	}
+	r.Remove("www.example.", TypeCNAME)
+	if got := c.Lookup("www.example.", TypeCNAME); len(got) != 1 {
+		t.Errorf("clone mutated through original: %d CNAME records", len(got))
+	}
+}

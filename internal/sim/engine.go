@@ -105,7 +105,10 @@ func New(cfg Config) (*Simulation, error) {
 			return nil, fmt.Errorf("sim: generating world: %w", err)
 		}
 	}
-	validation := world.Repo.Validate(world.MeasureTime())
+	// Memoized per generated world: clones of a shared world (sweep's
+	// shared-world mode) pay certificate-path validation once, not per
+	// cell. The per-run truth map below is this run's own mutable copy.
+	validation := world.Validation()
 	truth := make(map[vrp.VRP]bool)
 	for _, v := range validation.VRPs.All() {
 		truth[v] = true

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// streamOf folds vs through a fresh accumulator.
+func streamOf(vs []float64) Summary {
+	acc := NewStreamingSummary()
+	for _, v := range vs {
+		acc.Add(v)
+	}
+	return acc.Summary()
+}
+
+// TestStreamingMatchesSummarizeExactly covers the exact part of the
+// contract on randomized series: count, min and max bit-equal, mean
+// within floating-point association noise — across distributions,
+// lengths, orderings, and NaN contamination.
+func TestStreamingMatchesSummarizeExactly(t *testing.T) {
+	rnd := rand.New(rand.NewSource(20150601))
+	gens := map[string]func(n int) []float64{
+		"uniform": func(n int) []float64 {
+			vs := make([]float64, n)
+			for i := range vs {
+				vs[i] = rnd.Float64() * 100
+			}
+			return vs
+		},
+		"gaussianish": func(n int) []float64 {
+			vs := make([]float64, n)
+			for i := range vs {
+				vs[i] = rnd.NormFloat64()*5 + 50
+			}
+			return vs
+		},
+		"ascending": func(n int) []float64 {
+			vs := make([]float64, n)
+			for i := range vs {
+				vs[i] = float64(i)
+			}
+			return vs
+		},
+		"descending": func(n int) []float64 {
+			vs := make([]float64, n)
+			for i := range vs {
+				vs[i] = float64(n - i)
+			}
+			return vs
+		},
+		"constant": func(n int) []float64 {
+			vs := make([]float64, n)
+			for i := range vs {
+				vs[i] = 0.25
+			}
+			return vs
+		},
+		"with-nans": func(n int) []float64 {
+			vs := make([]float64, n)
+			for i := range vs {
+				if i%5 == 3 {
+					vs[i] = math.NaN()
+				} else {
+					vs[i] = rnd.Float64()
+				}
+			}
+			return vs
+		},
+	}
+	for name, gen := range gens {
+		for _, n := range []int{0, 1, 2, 3, 5, 8, 40, 200} {
+			vs := gen(n)
+			exact := Summarize(vs)
+			got := streamOf(vs)
+			if got.Count != exact.Count {
+				t.Fatalf("%s n=%d: count %d != %d", name, n, got.Count, exact.Count)
+			}
+			if exact.Count == 0 {
+				if !math.IsNaN(got.Min) || !math.IsNaN(got.Mean) || !math.IsNaN(got.P50) {
+					t.Fatalf("%s n=%d: empty stream not all-NaN: %+v", name, n, got)
+				}
+				continue
+			}
+			if got.Min != exact.Min || got.Max != exact.Max {
+				t.Fatalf("%s n=%d: min/max %v/%v != %v/%v", name, n, got.Min, got.Max, exact.Min, exact.Max)
+			}
+			if !closeRel(got.Mean, exact.Mean, 1e-9) {
+				t.Fatalf("%s n=%d: mean %v != %v", name, n, got.Mean, exact.Mean)
+			}
+		}
+	}
+}
+
+// TestStreamingQuantilesSmallSamplesExact: while the stream fits the
+// exact-phase buffer (≤ 25 finite values) p50/p95 equal the exact
+// percentiles — a sweep cell with up to 25 replicates streams exactly.
+func TestStreamingQuantilesSmallSamplesExact(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for n := 1; n <= 25; n++ {
+		for trial := 0; trial < 50; trial++ {
+			vs := make([]float64, n)
+			for i := range vs {
+				vs[i] = rnd.Float64() * 10
+			}
+			exact := Summarize(vs)
+			got := streamOf(vs)
+			if !closeRel(got.P50, exact.P50, 1e-12) || !closeRel(got.P95, exact.P95, 1e-12) {
+				t.Fatalf("n=%d: p50/p95 %v/%v != exact %v/%v (vs=%v)",
+					n, got.P50, got.P95, exact.P50, exact.P95, vs)
+			}
+		}
+	}
+}
+
+// TestStreamingQuantilesWithinBounds property-tests the documented P²
+// error bounds against the exact sample quantiles on larger randomized
+// series: |p50 − exact| ≤ 0.15 × range, |p95 − exact| ≤ 0.20 × range.
+func TestStreamingQuantilesWithinBounds(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 6 + rnd.Intn(300)
+		vs := make([]float64, n)
+		scale := math.Pow(10, float64(rnd.Intn(4)))
+		for i := range vs {
+			switch trial % 3 {
+			case 0:
+				vs[i] = rnd.Float64() * scale
+			case 1:
+				vs[i] = rnd.NormFloat64() * scale
+			default:
+				vs[i] = rnd.ExpFloat64() * scale
+			}
+		}
+		exact := Summarize(vs)
+		got := streamOf(vs)
+		span := exact.Max - exact.Min
+		if d := math.Abs(got.P50 - exact.P50); d > 0.15*span+1e-12 {
+			t.Fatalf("trial %d n=%d: p50 estimate %v vs exact %v (|Δ|=%v > 0.15×%v)",
+				trial, n, got.P50, exact.P50, d, span)
+		}
+		if d := math.Abs(got.P95 - exact.P95); d > 0.20*span+1e-12 {
+			t.Fatalf("trial %d n=%d: p95 estimate %v vs exact %v (|Δ|=%v > 0.20×%v)",
+				trial, n, got.P95, exact.P95, d, span)
+		}
+		// Estimates stay inside the observed range.
+		if got.P50 < exact.Min || got.P50 > exact.Max || got.P95 < exact.Min || got.P95 > exact.Max {
+			t.Fatalf("trial %d: quantile estimates escape [min, max]: %+v", trial, got)
+		}
+	}
+}
+
+// TestStreamingDeterministic: the fold is a pure function of the
+// observation sequence.
+func TestStreamingDeterministic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	vs := make([]float64, 500)
+	for i := range vs {
+		vs[i] = rnd.NormFloat64()
+	}
+	a, b := streamOf(vs), streamOf(vs)
+	if a != b {
+		t.Fatalf("same sequence, different summaries: %+v vs %+v", a, b)
+	}
+}
+
+// TestStreamingSkipsNaN mirrors Summarize's NaN contract, including the
+// all-NaN stream.
+func TestStreamingSkipsNaN(t *testing.T) {
+	got := streamOf([]float64{math.NaN(), 2, math.NaN(), 4})
+	if got.Count != 2 || got.Min != 2 || got.Max != 4 || got.Mean != 3 {
+		t.Fatalf("NaNs not skipped: %+v", got)
+	}
+	all := streamOf([]float64{math.NaN(), math.NaN()})
+	if all.Count != 0 || !math.IsNaN(all.P95) {
+		t.Fatalf("all-NaN stream: %+v", all)
+	}
+}
+
+func closeRel(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}

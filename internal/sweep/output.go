@@ -26,9 +26,16 @@ import (
 func (r *Result) WriteTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	scenarios := axis(r.Plan.Grid.Scenarios, "baseline")
-	fmt.Fprintf(bw, "# ripki-sweep master_seed=%d seeds=%s scenarios=%s cells=%d runs=%d\n",
+	// Streaming aggregates mark themselves (their percentiles are P²
+	// estimates); exact-mode output stays byte-for-byte what it always
+	// was, at any worker count and world-sharing mode.
+	mode := ""
+	if r.Streaming {
+		mode = " mode=streaming"
+	}
+	fmt.Fprintf(bw, "# ripki-sweep master_seed=%d seeds=%s scenarios=%s cells=%d runs=%d%s\n",
 		r.Plan.Grid.MasterSeed, formatSeeds(r.Plan.Seeds), strings.Join(scenarios, ","),
-		len(r.Cells), len(r.Runs))
+		len(r.Cells), len(r.Runs), mode)
 
 	fmt.Fprintln(bw, "# runs")
 	fmt.Fprintln(bw, "run\tcell\trep\tscenario\tseed\tdomains\ttick\tduration\tparams\trows\tmean_valid\tmin_valid\tfinal_coverage\tmax_hijacks\thijacked_rps\thijacked_ticks\terror")
@@ -127,16 +134,22 @@ func (r *Result) WriteJSON(w io.Writer) error {
 			Hijacks: rr.Hijacks,
 		}
 	}
+	mode := ""
+	if r.Streaming {
+		mode = "streaming"
+	}
 	doc := struct {
 		MasterSeed int64     `json:"master_seed"`
 		Seeds      []int64   `json:"seeds"`
 		Scenarios  []string  `json:"scenarios"`
+		Mode       string    `json:"mode,omitempty"`
 		Cells      []Cell    `json:"cells"`
 		Runs       []runJSON `json:"runs"`
 	}{
 		MasterSeed: r.Plan.Grid.MasterSeed,
 		Seeds:      r.Plan.Seeds,
 		Scenarios:  axis(r.Plan.Grid.Scenarios, "baseline"),
+		Mode:       mode,
 		Cells:      r.Cells,
 		Runs:       runs,
 	}

@@ -10,15 +10,29 @@ import (
 	"ripki/internal/stats"
 )
 
-// Options controls sweep execution. Only scheduling lives here — nothing
-// in Options may influence the aggregated output bytes.
+// Options controls sweep execution. Workers and ShareWorlds are pure
+// scheduling: they can never influence the output bytes. Streaming
+// trades exact percentiles for O(cells × ticks) memory — its output is
+// still byte-identical at any worker count and world-sharing mode, but
+// p50/p95 become P² estimates once a cell folds more than 25 runs (see
+// stats.StreamingSummary for the exact-phase buffer and error bounds).
 type Options struct {
 	// Workers is the number of concurrent simulations (default
 	// GOMAXPROCS). Output is byte-identical at any value.
 	Workers int
+	// ShareWorlds generates each distinct (seed, domains) world once and
+	// hands every run sharing it an immutable-layers clone, instead of
+	// regenerating the world per run. Output is byte-identical to the
+	// per-run-regeneration path.
+	ShareWorlds bool
+	// Streaming folds each run's series into per-cell online
+	// accumulators as runs complete and releases the series, bounding
+	// sweep memory by the grid (cells × ticks), not the run count.
+	Streaming bool
 	// Progress, when set, is called after each completed run with the
 	// completion count. Runs finish in scheduling order, not grid order;
-	// progress is presentation only.
+	// progress is presentation only. In streaming mode the RunResult's
+	// Series has already been folded and released.
 	Progress func(done, total int, r *RunResult)
 }
 
@@ -59,6 +73,9 @@ type Result struct {
 	Plan  *Plan
 	Runs  []RunResult
 	Cells []Cell
+	// Streaming records that the cell aggregates came from the online
+	// accumulators (and run series were released); the output marks it.
+	Streaming bool
 }
 
 // Run expands the grid, shards the runs across a worker pool, and
@@ -70,6 +87,13 @@ func Run(g Grid, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return RunPlan(plan, opt)
+}
+
+// RunPlan executes an already-expanded plan — callers that need the
+// plan up front (progress headers, sizing) expand once and hand it in
+// instead of paying the grid expansion twice.
+func RunPlan(plan *Plan, opt Options) (*Result, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -78,8 +102,19 @@ func Run(g Grid, opt Options) (*Result, error) {
 		workers = len(plan.Specs)
 	}
 
+	var worlds *worldCache
+	if opt.ShareWorlds {
+		worlds = newWorldCache(plan)
+	}
+	var stream *streamAggregator
+	if opt.Streaming {
+		stream = newStreamAggregator(plan)
+	}
+
 	// Results land at their grid index no matter which worker ran them
-	// or when; nothing downstream can observe completion order.
+	// or when; nothing downstream can observe completion order. In
+	// streaming mode each result's series is folded (in replicate order)
+	// and released before the result is stored.
 	results := make([]RunResult, len(plan.Specs))
 	jobs := make(chan int)
 	var (
@@ -92,7 +127,14 @@ func Run(g Grid, opt Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				rr := runOne(plan.Specs[idx])
+				rr := runOne(&plan.Specs[idx], worlds)
+				if stream != nil {
+					// The aggregator takes over the series (folded in
+					// replicate order, then released); the stored result
+					// keeps only the scalar summaries.
+					stream.add(rr)
+					rr.Series = nil
+				}
 				results[idx] = rr
 				if opt.Progress != nil {
 					mu.Lock()
@@ -109,13 +151,31 @@ func Run(g Grid, opt Options) (*Result, error) {
 	close(jobs)
 	wg.Wait()
 
-	return &Result{Plan: plan, Runs: results, Cells: aggregate(plan, results)}, nil
+	res := &Result{Plan: plan, Runs: results, Streaming: opt.Streaming}
+	if stream != nil {
+		res.Cells = stream.finalize()
+	} else {
+		res.Cells = aggregate(plan, results)
+	}
+	return res, nil
 }
 
-// runOne executes one spec and summarises its series.
-func runOne(spec RunSpec) RunResult {
-	rr := RunResult{Spec: spec}
-	series, err := sim.RunScenario(spec.Config)
+// runOne executes one spec and summarises its series. With a world
+// cache it claims a clone of the spec's shared world (releasing its
+// reference either way); without one, sim.New generates the world.
+func runOne(spec *RunSpec, worlds *worldCache) RunResult {
+	rr := RunResult{Spec: *spec}
+	cfg := spec.Config
+	if worlds != nil {
+		defer worlds.release(spec)
+		world, err := worlds.clone(spec)
+		if err != nil {
+			rr.Err = err.Error()
+			return rr
+		}
+		cfg.World = world
+	}
+	series, err := sim.RunScenario(cfg)
 	if err != nil {
 		rr.Err = err.Error()
 		return rr

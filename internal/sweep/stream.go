@@ -1,0 +1,259 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"ripki/internal/stats"
+	"ripki/internal/webworld"
+)
+
+// --- shared-world execution --------------------------------------------
+
+// A generated world depends only on (seed, domains), and paired
+// replication reuses the same seed in every cell — so a grid of C cells
+// × R replicates needs only R × |domains axis| distinct worlds, not
+// C × R. The cache below generates each distinct world exactly once
+// (organisations, RPKI signing, BGP announcement, DNS zones,
+// certificate-path validation), snapshots it, and hands every run that
+// shares the key its own webworld clone. Reference counts drop the
+// cache's entry when the last sharing run completes (clones alias the
+// snapshot's immutable layers, so the base world lives as long as any
+// of its runs) — world memory tracks the runs in flight, never the
+// grid size.
+type worldKey struct {
+	seed    int64
+	domains int
+}
+
+type worldEntry struct {
+	once      sync.Once
+	snap      *webworld.Snapshot
+	err       error
+	remaining int // runs still to claim a clone; guarded by worldCache.mu
+}
+
+type worldCache struct {
+	mu      sync.Mutex
+	entries map[worldKey]*worldEntry
+}
+
+func specWorldKey(spec *RunSpec) worldKey {
+	return worldKey{seed: spec.Config.Seed, domains: spec.Config.Domains}
+}
+
+// newWorldCache precounts how many runs share each world so entries can
+// be dropped (and collected) the moment the last sharer has cloned.
+func newWorldCache(plan *Plan) *worldCache {
+	c := &worldCache{entries: make(map[worldKey]*worldEntry)}
+	for i := range plan.Specs {
+		k := specWorldKey(&plan.Specs[i])
+		e := c.entries[k]
+		if e == nil {
+			e = &worldEntry{}
+			c.entries[k] = e
+		}
+		e.remaining++
+	}
+	return c
+}
+
+// clone returns this run's private copy of the spec's world, generating
+// and validating the shared original on first use. Concurrent callers
+// of the same key block until the one generation completes. The clone
+// shares every immutable layer and the memoized validation; only the
+// DNS registry (the layer scenarios mutate) is copied.
+func (c *worldCache) clone(spec *RunSpec) (*webworld.World, error) {
+	c.mu.Lock()
+	e := c.entries[specWorldKey(spec)]
+	c.mu.Unlock()
+	e.once.Do(func() {
+		w, err := webworld.Generate(webworld.Config{Seed: spec.Config.Seed, Domains: spec.Config.Domains})
+		if err != nil {
+			// The same error string sim.New would record, so a failing
+			// grid produces identical output in both execution modes.
+			e.err = fmt.Errorf("sim: generating world: %w", err)
+			return
+		}
+		w.Validation() // pay certificate-path validation once, here
+		e.snap = w.Snapshot()
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.snap.Clone(), nil
+}
+
+// release drops one reference (runOne defers it to run completion);
+// the last reference removes the entry so the snapshot becomes
+// collectable once its runs' clones are gone too.
+func (c *worldCache) release(spec *RunSpec) {
+	k := specWorldKey(spec)
+	c.mu.Lock()
+	if e := c.entries[k]; e != nil {
+		e.remaining--
+		if e.remaining == 0 {
+			delete(c.entries, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// --- streaming aggregation ---------------------------------------------
+
+// streamAggregator folds run series into per-cell online accumulators
+// the moment each run completes, then releases the series — sweep
+// memory becomes O(cells × ticks) instead of O(runs × ticks).
+//
+// Determinism at any worker count comes from folding each cell's runs
+// in replicate order, never completion order: a run that finishes
+// before its predecessors parks (series attached) until every earlier
+// replicate of its cell has been folded. Runs within a cell are
+// scheduled contiguously, so at most ~Workers runs are ever parked —
+// the transient buffer is bounded by the pool, not the grid.
+type streamAggregator struct {
+	mu    sync.Mutex
+	cells []*cellStream
+}
+
+// cellStream is one cell's accumulator state.
+type cellStream struct {
+	info    CellInfo
+	nextRep int
+	parked  map[int]*RunResult
+	runs    int
+	errors  int
+
+	columns   []string
+	metricIdx []int
+	t, tick   []float64
+	rows      int // min row count across folded runs
+	accs      [][]*stats.StreamingSummary
+
+	hijackOrder []string
+	hijacks     map[string]*RPHijackRate
+}
+
+func newStreamAggregator(plan *Plan) *streamAggregator {
+	a := &streamAggregator{cells: make([]*cellStream, len(plan.Cells))}
+	for i, info := range plan.Cells {
+		a.cells[i] = &cellStream{
+			info:    info,
+			parked:  make(map[int]*RunResult),
+			hijacks: make(map[string]*RPHijackRate),
+		}
+	}
+	return a
+}
+
+// add offers one completed run. The aggregator owns the copy it is
+// handed: the series is folded and released as soon as every earlier
+// replicate of the cell has been folded — immediately when the run
+// arrives in order, otherwise when the stragglers land. Callers must
+// not retain rr.Series after add (the pool stores results with the
+// series stripped).
+func (a *streamAggregator) add(rr RunResult) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cs := a.cells[rr.Spec.Cell]
+	cs.parked[rr.Spec.Rep] = &rr
+	for {
+		next, ok := cs.parked[cs.nextRep]
+		if !ok {
+			return
+		}
+		delete(cs.parked, cs.nextRep)
+		cs.nextRep++
+		cs.fold(next)
+	}
+}
+
+// fold ingests one run in replicate order and drops its series.
+func (cs *cellStream) fold(rr *RunResult) {
+	defer func() { rr.Series = nil }()
+	if rr.Err != "" || rr.Series == nil {
+		cs.errors++
+		return
+	}
+	series := rr.Series
+	if cs.runs == 0 {
+		for i, col := range series.Columns {
+			if col == "t" || col == "tick" {
+				continue
+			}
+			cs.metricIdx = append(cs.metricIdx, i)
+			cs.columns = append(cs.columns, col)
+		}
+		cs.t = series.Column("t")
+		cs.tick = series.Column("tick")
+		cs.rows = len(series.Rows)
+		cs.accs = make([][]*stats.StreamingSummary, len(series.Rows))
+		for row := range cs.accs {
+			ms := make([]*stats.StreamingSummary, len(cs.metricIdx))
+			for m := range ms {
+				ms[m] = stats.NewStreamingSummary()
+			}
+			cs.accs[row] = ms
+		}
+	} else if len(series.Rows) < cs.rows {
+		// Mirror the exact path's clamp to the shortest run; rows beyond
+		// the final minimum are discarded when the cell is built.
+		cs.rows = len(series.Rows)
+	}
+	cs.runs++
+	n := len(series.Rows)
+	if n > len(cs.accs) {
+		n = len(cs.accs)
+	}
+	for row := 0; row < n; row++ {
+		for m, mi := range cs.metricIdx {
+			cs.accs[row][m].Add(series.Rows[row][mi])
+		}
+	}
+	for _, h := range rr.Hijacks {
+		r, exists := cs.hijacks[h.RP]
+		if !exists {
+			r = &RPHijackRate{RP: h.RP}
+			cs.hijacks[h.RP] = r
+			cs.hijackOrder = append(cs.hijackOrder, h.RP)
+		}
+		r.Runs++
+		if h.Success {
+			r.SuccessRate++
+		}
+		r.MeanHijackedTicks += float64(h.HijackedTicks)
+	}
+}
+
+// finalize renders the accumulators as the Cells slice, in grid order —
+// the same shape the exact aggregate produces.
+func (a *streamAggregator) finalize() []Cell {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cells := make([]Cell, len(a.cells))
+	for ci, cs := range a.cells {
+		cell := Cell{CellInfo: cs.info, Runs: cs.runs, Errors: cs.errors, Columns: cs.columns}
+		for row := 0; row < cs.rows; row++ {
+			ta := TickAggregate{Metrics: make([]stats.Summary, 0, len(cs.metricIdx))}
+			if row < len(cs.t) {
+				ta.T = cs.t[row]
+			}
+			if row < len(cs.tick) {
+				ta.Tick = cs.tick[row]
+			}
+			for _, acc := range cs.accs[row] {
+				ta.Metrics = append(ta.Metrics, acc.Summary())
+			}
+			cell.Ticks = append(cell.Ticks, ta)
+		}
+		for _, rp := range cs.hijackOrder {
+			r := cs.hijacks[rp]
+			out := *r
+			out.SuccessRate /= float64(r.Runs)
+			out.MeanHijackedTicks /= float64(r.Runs)
+			cell.Hijacks = append(cell.Hijacks, out)
+		}
+		cells[ci] = cell
+	}
+	return cells
+}

@@ -28,6 +28,7 @@ func Generate(cfg Config) (*World, error) {
 		alloc:       newAllocator(),
 		prefixOrg:   make(map[netip.Prefix]*Org),
 		CDNSuffixes: make(map[string][]string),
+		valMemo:     &validationMemo{},
 	}
 	var err error
 	if w.Repo, err = repo.New(repo.RIRNames, cfg.Clock, cfg.TTL); err != nil {

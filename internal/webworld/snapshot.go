@@ -1,0 +1,65 @@
+package webworld
+
+import (
+	"sync"
+
+	"ripki/internal/rpki/repo"
+)
+
+// This file is the sharing surface of a generated world. Sweeps pay the
+// world-generation tax (organisations, RPKI signing, BGP announcement,
+// a million DNS records, certificate-path validation) once per seed:
+// Generate the world, Snapshot it, and hand each grid cell its own
+// Clone. Everything in a World is immutable at simulation time except
+// the DNS registry (scenarios re-point delivery hosts), so a clone is a
+// shallow copy of the world plus a deep copy of the registry —
+// copy-on-write would save the registry copy too, but a deep copy is
+// already two orders of magnitude cheaper than regeneration and keeps
+// the mutation rules trivial.
+
+// validationMemo caches the world's RPKI validation at MeasureTime. The
+// pointer is shared by every clone of a world, so a whole sweep pays
+// certificate-path validation once per generated world.
+type validationMemo struct {
+	once sync.Once
+	res  *repo.ValidationResult
+}
+
+// Validation returns the repository validated at MeasureTime, computed
+// once per generated world and shared by every Clone. The result (and
+// its VRP set) must be treated as read-only. Worlds assembled by hand
+// without Generate fall back to validating on every call.
+func (w *World) Validation() *repo.ValidationResult {
+	if w.valMemo == nil {
+		return w.Repo.Validate(w.MeasureTime())
+	}
+	w.valMemo.once.Do(func() {
+		w.valMemo.res = w.Repo.Validate(w.MeasureTime())
+	})
+	return w.valMemo.res
+}
+
+// Snapshot is an immutable captured world: a template every simulation
+// sharing the seed clones from. The snapshot itself must never be
+// handed to a scenario — call Clone (concurrency-safe) per run.
+type Snapshot struct {
+	base *World
+}
+
+// Snapshot captures the world as an immutable template. The receiver
+// must not be mutated afterwards (run scenarios against Clones, not
+// against w itself).
+func (w *World) Snapshot() *Snapshot {
+	return &Snapshot{base: w}
+}
+
+// Clone returns a world that is safe to hand to one simulation: it
+// shares every immutable layer (ranked list, RIB, RPKI repository,
+// organisations, memoized validation) with the snapshot and deep-copies
+// the DNS registry, the one layer scenarios mutate. Clone is safe to
+// call concurrently.
+func (s *Snapshot) Clone() *World {
+	w := *s.base
+	w.Registry = s.base.Registry.Clone()
+	return &w
+}

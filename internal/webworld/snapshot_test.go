@@ -1,0 +1,57 @@
+package webworld
+
+import (
+	"testing"
+
+	"ripki/internal/dns"
+)
+
+func TestSnapshotCloneIsolatesRegistry(t *testing.T) {
+	w, err := Generate(Config{Seed: 11, Domains: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := w.Snapshot()
+	a, b := snap.Clone(), snap.Clone()
+	if a == b || a.Registry == b.Registry || a.Registry == w.Registry {
+		t.Fatal("clones share a registry")
+	}
+	// Immutable layers are shared, not copied.
+	if a.RIB != w.RIB || a.Repo != w.Repo || a.List != w.List {
+		t.Error("immutable layers were copied")
+	}
+
+	name := w.Registry.Names()[0]
+	before := len(w.Registry.Lookup(name, dns.TypeA)) + len(w.Registry.Lookup(name, dns.TypeCNAME))
+	a.Registry.Remove(name, dns.TypeA)
+	a.Registry.Remove(name, dns.TypeCNAME)
+	after := len(w.Registry.Lookup(name, dns.TypeA)) + len(w.Registry.Lookup(name, dns.TypeCNAME))
+	if before != after {
+		t.Error("mutating a clone's registry reached the snapshot")
+	}
+	if got := len(b.Registry.Lookup(name, dns.TypeA)) + len(b.Registry.Lookup(name, dns.TypeCNAME)); got != before {
+		t.Error("mutating one clone reached a sibling clone")
+	}
+}
+
+func TestValidationMemoized(t *testing.T) {
+	w, err := Generate(Config{Seed: 11, Domains: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := w.Validation()
+	if first.VRPs.Len() == 0 {
+		t.Fatal("no VRPs validated")
+	}
+	if again := w.Validation(); again != first {
+		t.Error("Validation not memoized on the world")
+	}
+	if clone := w.Snapshot().Clone(); clone.Validation() != first {
+		t.Error("clone does not share the memoized validation")
+	}
+	// The memo agrees with a direct validation.
+	direct := w.Repo.Validate(w.MeasureTime())
+	if direct.VRPs.Len() != first.VRPs.Len() {
+		t.Errorf("memoized VRPs %d != direct %d", first.VRPs.Len(), direct.VRPs.Len())
+	}
+}

@@ -313,6 +313,9 @@ type World struct {
 	rnd   *rand.Rand
 	alloc *allocator
 	orgs  *worldOrgs
+	// valMemo caches RPKI validation at MeasureTime; shared by clones
+	// (see snapshot.go).
+	valMemo *validationMemo
 	// prefixOrg maps each allocated prefix to its owner, for tests and
 	// diagnostics.
 	prefixOrg map[netip.Prefix]*Org

@@ -289,9 +289,13 @@ type (
 	// SweepGrid is a parameter grid (scenario × seed × any SimConfig
 	// knob); its cross product is the run list.
 	SweepGrid = sweep.Grid
-	// SweepOptions controls execution (worker count, progress); nothing
-	// in it can change the output bytes.
+	// SweepOptions controls execution. Workers and ShareWorlds are pure
+	// scheduling (they can never change the output bytes); Streaming
+	// bounds memory by the grid at the price of estimated percentiles
+	// past 25 replicates, still byte-identical at any worker count.
 	SweepOptions = sweep.Options
+	// SweepPlan is an expanded grid: every cell and run in grid order.
+	SweepPlan = sweep.Plan
 	// SweepResult is a completed sweep: runs in grid order plus
 	// per-cell aggregates, exported via WriteTSV / WriteJSON.
 	SweepResult = sweep.Result
@@ -300,6 +304,14 @@ type (
 	// SweepCell is one cell's cross-run aggregate (per-tick summaries,
 	// per-RP hijack-success rates).
 	SweepCell = sweep.Cell
+	// WorldSnapshot is an immutable captured world; Clone hands each
+	// simulation its own safely-mutable copy (shared-world sweeps).
+	WorldSnapshot = webworld.Snapshot
+	// StreamingSummary is the online (O(1)-memory) counterpart of
+	// stats.Summarize: exact count/min/max/mean, exact p50/p95 up to 25
+	// values, P² estimates beyond. Streaming sweeps keep one per
+	// (cell, tick, metric).
+	StreamingSummary = stats.StreamingSummary
 	// StatsSummary is the count/min/max/mean/p50/p95 description sweep
 	// aggregation folds each metric into.
 	StatsSummary = stats.Summary
@@ -309,6 +321,10 @@ type (
 // pool, and aggregates. Same grid + master seed ⇒ byte-identical output
 // at any worker count.
 func RunSweep(g SweepGrid, opt SweepOptions) (*SweepResult, error) { return sweep.Run(g, opt) }
+
+// RunSweepPlan executes an already-expanded plan (SweepGrid.Plan), so
+// callers needing the plan up front don't pay grid expansion twice.
+func RunSweepPlan(p *SweepPlan, opt SweepOptions) (*SweepResult, error) { return sweep.RunPlan(p, opt) }
 
 // ParseSweepGrid reads a JSON grid file (durations as strings, unknown
 // fields rejected).

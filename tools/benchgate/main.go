@@ -1,0 +1,224 @@
+// Command benchgate is the benchmark-regression gate: it parses `go
+// test -bench -benchmem` output on stdin, folds repeated runs (-count N)
+// to their best observation, and either records the result as a
+// baseline or compares it against a committed one, failing on
+// regression.
+//
+//	go test -run '^$' -bench 'BenchmarkSweep$' -benchmem -count 3 ./internal/sweep | \
+//	    go run ./tools/benchgate -check BENCH_baseline.json
+//	... | go run ./tools/benchgate -write BENCH_baseline.json
+//
+// The gate fails (exit 1) when any baselined benchmark's ns/op or B/op
+// worsens by more than -threshold (default 0.30 = +30%), or when a
+// baselined benchmark is missing from the input (a silent rename or
+// deletion would otherwise retire its gate unnoticed). Benchmarks in
+// the input but not the baseline are reported and ignored — refresh the
+// baseline (make bench-baseline) to start gating them.
+//
+// Best-of folding makes the ns/op comparison noise-tolerant: with
+// -count 3 a single slow run (GC pause, noisy neighbour) cannot fail
+// the gate; only a change that slows every run can. B/op is
+// deterministic for these benchmarks and is the sturdier signal across
+// machines — ns/op baselines are only meaningful against the machine
+// that wrote them (refresh on hardware changes). -ns-threshold exists
+// for exactly that gap: CI runs with a looser ns/op threshold that
+// absorbs runner-vs-baseline hardware differences while still failing
+// a 2× slowdown, and keeps B/op at the tight default.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's baselined observation.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	BPerOp  float64 `json:"b_per_op"`
+}
+
+// Baseline is the committed gate file.
+type Baseline struct {
+	// Note documents how to refresh the file.
+	Note string `json:"note"`
+	// Benchmarks maps the normalised benchmark name (GOMAXPROCS suffix
+	// stripped) to its best observation.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line:
+// name, iterations, ns/op, then optional custom metrics, B/op,
+// allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+// gomaxprocsSuffix is the trailing -N go test appends when GOMAXPROCS
+// exceeds 1; stripping it makes baselines portable across core counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads benchmark output, folding repeated names (from -count N)
+// to their minimum ns/op and B/op.
+func Parse(r io.Reader) (map[string]Entry, error) {
+	out := make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		e := Entry{NsPerOp: ns, BPerOp: -1}
+		for _, field := range strings.Split(m[3], "\t") {
+			field = strings.TrimSpace(field)
+			if v, ok := strings.CutSuffix(field, " B/op"); ok {
+				b, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchgate: bad B/op in %q: %w", sc.Text(), err)
+				}
+				e.BPerOp = b
+			}
+		}
+		if prev, seen := out[name]; seen {
+			if prev.NsPerOp < e.NsPerOp {
+				e.NsPerOp = prev.NsPerOp
+			}
+			if prev.BPerOp >= 0 && (e.BPerOp < 0 || prev.BPerOp < e.BPerOp) {
+				e.BPerOp = prev.BPerOp
+			}
+		}
+		out[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark lines on stdin")
+	}
+	return out, nil
+}
+
+// Compare checks current observations against the baseline and returns
+// the list of failures (empty = gate passes) and an informational
+// report. nsThreshold and bThreshold are the allowed fractional
+// regressions for ns/op and B/op — separate because B/op is
+// deterministic across machines while ns/op tracks the hardware that
+// wrote the baseline.
+func Compare(base *Baseline, cur map[string]Entry, nsThreshold, bThreshold float64) (failures, report []string) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: baselined benchmark missing from input", name))
+			continue
+		}
+		nsRatio := c.NsPerOp / b.NsPerOp
+		report = append(report, fmt.Sprintf("%-55s ns/op %12.0f -> %12.0f (%+.1f%%)",
+			name, b.NsPerOp, c.NsPerOp, (nsRatio-1)*100))
+		if nsRatio > 1+nsThreshold {
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f%% (%.0f -> %.0f, threshold %.0f%%)",
+				name, (nsRatio-1)*100, b.NsPerOp, c.NsPerOp, nsThreshold*100))
+		}
+		if b.BPerOp > 0 && c.BPerOp >= 0 {
+			bRatio := c.BPerOp / b.BPerOp
+			report = append(report, fmt.Sprintf("%-55s B/op  %12.0f -> %12.0f (%+.1f%%)",
+				name, b.BPerOp, c.BPerOp, (bRatio-1)*100))
+			if bRatio > 1+bThreshold {
+				failures = append(failures, fmt.Sprintf("%s: B/op regressed %.1f%% (%.0f -> %.0f, threshold %.0f%%)",
+					name, (bRatio-1)*100, b.BPerOp, c.BPerOp, bThreshold*100))
+			}
+		}
+	}
+	extra := make([]string, 0)
+	for name := range cur {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		report = append(report, fmt.Sprintf("%-55s (not in baseline; run make bench-baseline to gate it)", name))
+	}
+	return failures, report
+}
+
+func main() {
+	var (
+		check       = flag.String("check", "", "baseline JSON to compare stdin against")
+		write       = flag.String("write", "", "baseline JSON to (over)write from stdin")
+		threshold   = flag.Float64("threshold", 0.30, "allowed fractional regression for ns/op and B/op")
+		nsThreshold = flag.Float64("ns-threshold", -1, "override -threshold for ns/op only (CI uses a looser value to absorb hardware differences from the baseline machine)")
+	)
+	flag.Parse()
+	if (*check == "") == (*write == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -check or -write is required")
+		os.Exit(2)
+	}
+	cur, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *write != "" {
+		base := Baseline{
+			Note:       "benchmark-regression baseline; refresh with `make bench-baseline` on the reference machine",
+			Benchmarks: cur,
+		}
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(cur), *write)
+		return
+	}
+
+	data, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *check, err)
+		os.Exit(2)
+	}
+	nsThr := *threshold
+	if *nsThreshold >= 0 {
+		nsThr = *nsThreshold
+	}
+	failures, report := Compare(&base, cur, nsThr, *threshold)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Println("REGRESSION:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d gated benchmarks within thresholds (ns/op %.0f%%, B/op %.0f%%)\n",
+		len(base.Benchmarks), nsThr*100, *threshold*100)
+}

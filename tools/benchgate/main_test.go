@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ripki/internal/sweep
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweep/workers=4-8         	       2	3489621020 ns/op	         9.170 runs/s	1017605704 B/op	 6232998 allocs/op
+BenchmarkSweep/workers=4-8         	       2	3300000000 ns/op	         9.600 runs/s	1017605800 B/op	 6232999 allocs/op
+BenchmarkSweep/shared/workers=4-8  	       2	2359750430 ns/op	        13.56 runs/s	817745672 B/op	 3374609 allocs/op
+BenchmarkSimTick   	     100	  11400000 ns/op	  131072 B/op	    2048 allocs/op
+PASS
+ok  	ripki/internal/sweep	24.037s
+`
+
+func TestParseFoldsBestOf(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GOMAXPROCS suffix stripped; repeated runs folded to the minimum.
+	sweep, ok := got["BenchmarkSweep/workers=4"]
+	if !ok {
+		t.Fatalf("normalised name missing: %v", got)
+	}
+	if sweep.NsPerOp != 3300000000 {
+		t.Errorf("ns/op not folded to min: %v", sweep.NsPerOp)
+	}
+	if sweep.BPerOp != 1017605704 {
+		t.Errorf("B/op not folded to min: %v", sweep.BPerOp)
+	}
+	// Custom metrics between ns/op and B/op don't confuse the parser,
+	// and a name with no GOMAXPROCS suffix survives normalisation.
+	if got["BenchmarkSimTick"].BPerOp != 131072 {
+		t.Errorf("SimTick B/op: %v", got["BenchmarkSimTick"].BPerOp)
+	}
+	if len(got) != 3 {
+		t.Errorf("parsed %d benchmarks, want 3", len(got))
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("no benchmark lines accepted")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkSweep/workers=4": {NsPerOp: 1000, BPerOp: 500},
+		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
+	}}
+	// Within threshold (+20%, improvement): passes.
+	ok := map[string]Entry{
+		"BenchmarkSweep/workers=4": {NsPerOp: 1200, BPerOp: 480},
+		"BenchmarkSimTick":         {NsPerOp: 90, BPerOp: 50},
+	}
+	if failures, _ := Compare(base, ok, 0.30, 0.30); len(failures) != 0 {
+		t.Errorf("in-threshold run failed the gate: %v", failures)
+	}
+	// A synthetic 2× slowdown on one benchmark: fails.
+	slow := map[string]Entry{
+		"BenchmarkSweep/workers=4": {NsPerOp: 2000, BPerOp: 500},
+		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
+	}
+	failures, _ := Compare(base, slow, 0.30, 0.30)
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op regressed 100.0%") {
+		t.Errorf("2x slowdown not caught: %v", failures)
+	}
+	// A B/op regression alone: fails.
+	alloc := map[string]Entry{
+		"BenchmarkSweep/workers=4": {NsPerOp: 1000, BPerOp: 800},
+		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
+	}
+	if failures, _ := Compare(base, alloc, 0.30, 0.30); len(failures) != 1 {
+		t.Errorf("B/op regression not caught: %v", failures)
+	}
+	// Split thresholds, the CI shape: a loose ns/op gate (absorbing
+	// hardware skew from the baseline machine) still fails a 2×
+	// slowdown and keeps B/op tight.
+	if failures, _ := Compare(base, slow, 0.75, 0.30); len(failures) != 1 {
+		t.Errorf("2x slowdown passed the loose ns gate: %v", failures)
+	}
+	skewed := map[string]Entry{
+		"BenchmarkSweep/workers=4": {NsPerOp: 1500, BPerOp: 800}, // ns +50% (machine skew), B/op +60% (real)
+		"BenchmarkSimTick":         {NsPerOp: 150, BPerOp: 50},
+	}
+	failures, _ = Compare(base, skewed, 0.75, 0.30)
+	if len(failures) != 1 || !strings.Contains(failures[0], "B/op regressed") {
+		t.Errorf("split thresholds: want the B/op failure alone, got %v", failures)
+	}
+	// A baselined benchmark vanishing from the input: fails.
+	missing := map[string]Entry{
+		"BenchmarkSimTick": {NsPerOp: 100, BPerOp: 50},
+	}
+	if failures, _ := Compare(base, missing, 0.30, 0.30); len(failures) != 1 {
+		t.Errorf("missing benchmark not caught: %v", failures)
+	}
+	// New benchmarks not yet baselined are reported, never failed.
+	extra := map[string]Entry{
+		"BenchmarkSweep/workers=4": {NsPerOp: 1000, BPerOp: 500},
+		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
+		"BenchmarkNew":             {NsPerOp: 7, BPerOp: 7},
+	}
+	failures, report := Compare(base, extra, 0.30, 0.30)
+	if len(failures) != 0 {
+		t.Errorf("unbaselined benchmark failed the gate: %v", failures)
+	}
+	found := false
+	for _, line := range report {
+		if strings.Contains(line, "BenchmarkNew") && strings.Contains(line, "not in baseline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unbaselined benchmark not reported")
+	}
+}
