@@ -33,12 +33,16 @@ fmt-check:
 		echo "gofmt -l found unformatted files:"; echo "$$files"; exit 1; \
 	fi
 
-# The gated benchmark set: the sweep engine (all execution modes) and
-# the sim engine's hot tick loop. Fixed -benchtime keeps run time
-# bounded; -count $(BENCH_COUNT) gives benchgate best-of folding.
+# The gated benchmark set: the sweep engine (all execution modes), the
+# sim engine's hot tick loop, the serving layer's lock-free lookup path
+# at 1/4/8 goroutines, and the radix covering walk it rests on. Fixed
+# -benchtime keeps run time bounded; -count $(BENCH_COUNT) gives
+# benchgate best-of folding.
 bench:
 	@$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 2x -benchmem -count $(BENCH_COUNT) ./internal/sweep
 	@$(GO) test -run '^$$' -bench 'BenchmarkSimTick$$' -benchtime 200x -benchmem -count $(BENCH_COUNT) .
+	@$(GO) test -run '^$$' -bench 'BenchmarkServeValidate$$' -benchtime 50000x -benchmem -count $(BENCH_COUNT) ./internal/serve
+	@$(GO) test -run '^$$' -bench 'BenchmarkCovering$$' -benchtime 200000x -benchmem -count $(BENCH_COUNT) ./internal/radix
 
 bench-baseline:
 	@$(MAKE) --no-print-directory bench | $(GO) run ./tools/benchgate -write $(BENCH_FILE)

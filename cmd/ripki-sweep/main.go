@@ -1,6 +1,6 @@
 // Command ripki-sweep runs a parameter grid of scenario simulations
 // across a worker pool and emits deterministic cross-run aggregates:
-// per-tick min/mean/max/p50/p95 of every exposure metric and per
+// per-tick min/mean/max/p50/p95/p99 of every exposure metric and per
 // relying-party hijack-success rates, per grid cell. Same grid + master
 // seed ⇒ byte-identical output at ANY -workers value and either
 // -share-worlds setting.
@@ -15,7 +15,8 @@
 // world once and clones it per run instead of regenerating; it never
 // changes the output. -streaming folds runs into online accumulators as
 // they complete, bounding memory by the grid instead of the run count;
-// its p50/p95 become estimates once a cell exceeds 25 replicates (see
+// its percentiles become estimates once a cell exceeds the exact
+// buffer (25 replicates for p50/p95, 100 for p99; see
 // docs/sweep.md) and its output is marked mode=streaming — still
 // byte-identical at any worker count.
 package main
@@ -102,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sampleDomains = fs.String("sample-domains", "", "comma-separated probe-sample-size axis")
 		workers       = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); output is identical at any value")
 		shareWorlds   = fs.Bool("share-worlds", true, "generate each (seed, domains) world once and clone per run (never changes output)")
-		streaming     = fs.Bool("streaming", false, "fold runs into online accumulators (memory bounded by the grid; p50/p95 estimated past 25 replicates)")
+		streaming     = fs.Bool("streaming", false, "fold runs into online accumulators (memory bounded by the grid; p50/p95 estimated past 25 replicates, p99 past 100)")
 		format        = fs.String("format", "tsv", `output format: "tsv" or "json"`)
 		quiet         = fs.Bool("quiet", false, "suppress all progress output on stderr")
 	)

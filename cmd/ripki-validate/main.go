@@ -5,12 +5,23 @@
 //
 //	ripki-validate -vrps world/vrps.csv 193.0.6.0/24 3333
 //	ripki-validate -rtr 127.0.0.1:8282 193.0.6.0/24 3333
+//	ripki-validate -vrps world/vrps.csv -batch < routes.txt
+//
+// In -batch mode routes come from stdin, one "prefix asn" pair per
+// line (blank lines and #-comments skipped), and the output is TSV:
+// prefix, asn, state, covering VRPs (";"-joined, "-" when none).
+//
+// Exit codes follow the ripki-sweep convention: 0 on success (-h
+// included), 1 when any route validated invalid or on runtime errors,
+// 2 on usage errors.
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"net/netip"
 	"os"
 	"strconv"
@@ -20,64 +31,192 @@ import (
 	"ripki/internal/rtr"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ripki-validate: ")
-	var (
-		vrpFile = flag.String("vrps", "", "VRP CSV file")
-		rtrAddr = flag.String("rtr", "", "RTR cache address to sync from")
-	)
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 || len(args)%2 != 0 {
-		log.Fatal("usage: ripki-validate (-vrps file | -rtr addr) <prefix> <asn> [<prefix> <asn> ...]")
-	}
+// errFlagParse marks a usage failure already reported to stderr; main
+// exits 2 without printing it twice.
+var errFlagParse = errors.New("flag parsing failed")
 
-	var set *vrp.Set
+// errInvalidRoute marks a successful run that found at least one
+// invalid route; main exits 1 silently (the states are the output).
+var errInvalidRoute = errors.New("invalid route found")
+
+// route is one (prefix, origin AS) pair to classify.
+type route struct {
+	prefix netip.Prefix
+	asn    uint32
+}
+
+// parseRoute parses the "prefix asn" pair, accepting an "AS" prefix on
+// the ASN.
+func parseRoute(prefixText, asnText string) (route, error) {
+	p, err := netip.ParsePrefix(prefixText)
+	if err != nil {
+		return route{}, fmt.Errorf("bad prefix %q: %v", prefixText, err)
+	}
+	asn, err := strconv.ParseUint(strings.TrimPrefix(strings.ToUpper(asnText), "AS"), 10, 32)
+	if err != nil {
+		return route{}, fmt.Errorf("bad ASN %q: %v", asnText, err)
+	}
+	return route{prefix: p, asn: uint32(asn)}, nil
+}
+
+// loadSet builds the VRP set from the chosen source.
+func loadSet(vrpFile, rtrAddr string) (*vrp.Set, error) {
 	switch {
-	case *vrpFile != "":
-		f, err := os.Open(*vrpFile)
+	case vrpFile != "":
+		f, err := os.Open(vrpFile)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		set, err = vrp.ReadCSV(f)
-		f.Close()
+		defer f.Close()
+		return vrp.ReadCSV(f)
+	case rtrAddr != "":
+		c, err := rtr.Dial(rtrAddr)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-	case *rtrAddr != "":
-		c, err := rtr.Dial(*rtrAddr)
-		if err != nil {
-			log.Fatal(err)
-		}
+		defer c.Close()
 		if err := c.Reset(); err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		set = c.Set()
-		c.Close()
+		return c.Set(), nil
 	default:
-		log.Fatal("need -vrps or -rtr")
+		return nil, nil
+	}
+}
+
+// run is the whole command, testable: routes in via argv or stdin,
+// results out via the writers.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ripki-validate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		vrpFile = fs.String("vrps", "", "VRP CSV file")
+		rtrAddr = fs.String("rtr", "", "RTR cache address to sync from")
+		batch   = fs.Bool("batch", false, `read "prefix asn" lines from stdin and emit TSV`)
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: ripki-validate (-vrps file | -rtr addr) <prefix> <asn> [<prefix> <asn> ...]")
+		fmt.Fprintln(stderr, "       ripki-validate (-vrps file | -rtr addr) -batch < routes.txt")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h is a successful exit
+		}
+		return errFlagParse
+	}
+	if *vrpFile == "" && *rtrAddr == "" {
+		fmt.Fprintln(stderr, "need -vrps or -rtr")
+		fs.Usage()
+		return errFlagParse
+	}
+	argv := fs.Args()
+	if *batch && len(argv) != 0 {
+		fmt.Fprintln(stderr, "-batch takes routes on stdin, not arguments")
+		return errFlagParse
+	}
+	if !*batch && (len(argv) == 0 || len(argv)%2 != 0) {
+		fs.Usage()
+		return errFlagParse
 	}
 
-	exit := 0
-	for i := 0; i < len(args); i += 2 {
-		prefix, err := netip.ParsePrefix(args[i])
-		if err != nil {
-			log.Fatalf("bad prefix %q: %v", args[i], err)
+	// Parse argv routes before loading the set, so a typo'd route is a
+	// usage error (exit 2) rather than a late runtime failure.
+	var routes []route
+	if !*batch {
+		for i := 0; i < len(argv); i += 2 {
+			r, err := parseRoute(argv[i], argv[i+1])
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return errFlagParse
+			}
+			routes = append(routes, r)
 		}
-		asnText := strings.TrimPrefix(strings.ToUpper(args[i+1]), "AS")
-		asn, err := strconv.ParseUint(asnText, 10, 32)
-		if err != nil {
-			log.Fatalf("bad ASN %q: %v", args[i+1], err)
-		}
-		state, covering := set.ValidateExplain(prefix, uint32(asn))
-		fmt.Printf("%s AS%d: %s\n", prefix, asn, state)
+	}
+
+	set, err := loadSet(*vrpFile, *rtrAddr)
+	if err != nil {
+		return err
+	}
+
+	if *batch {
+		return runBatch(set, stdin, stdout)
+	}
+	anyInvalid := false
+	for _, r := range routes {
+		state, covering := set.ValidateExplain(r.prefix, r.asn)
+		fmt.Fprintf(stdout, "%s AS%d: %s\n", r.prefix, r.asn, state)
 		for _, v := range covering {
-			fmt.Printf("  covered by %s\n", v)
+			fmt.Fprintf(stdout, "  covered by %s\n", v)
 		}
 		if state == vrp.Invalid {
-			exit = 2
+			anyInvalid = true
 		}
 	}
-	os.Exit(exit)
+	if anyInvalid {
+		return errInvalidRoute
+	}
+	return nil
+}
+
+// runBatch streams "prefix asn" lines into TSV verdicts.
+func runBatch(set *vrp.Set, stdin io.Reader, stdout io.Writer) error {
+	bw := bufio.NewWriter(stdout)
+	fmt.Fprintln(bw, "prefix\tasn\tstate\tcovering")
+	sc := bufio.NewScanner(stdin)
+	lineNo := 0
+	anyInvalid := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("stdin line %d: want \"prefix asn\", got %q", lineNo, line)
+		}
+		r, err := parseRoute(fields[0], fields[1])
+		if err != nil {
+			return fmt.Errorf("stdin line %d: %v", lineNo, err)
+		}
+		state, covering := set.ValidateExplain(r.prefix, r.asn)
+		cov := "-"
+		if len(covering) > 0 {
+			parts := make([]string, len(covering))
+			for i, v := range covering {
+				parts[i] = fmt.Sprintf("%s-%d=>AS%d", v.Prefix, v.MaxLength, v.ASN)
+			}
+			cov = strings.Join(parts, ";")
+		}
+		token := strings.ReplaceAll(state.String(), " ", "") // "not found" → "notfound"
+		fmt.Fprintf(bw, "%s\t%d\t%s\t%s\n", r.prefix, r.asn, token, cov)
+		if state == vrp.Invalid {
+			anyInvalid = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading stdin: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if anyInvalid {
+		return errInvalidRoute
+	}
+	return nil
+}
+
+func main() {
+	err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, errFlagParse):
+		os.Exit(2)
+	case errors.Is(err, errInvalidRoute):
+		os.Exit(1)
+	default:
+		fmt.Fprintf(os.Stderr, "ripki-validate: %v\n", err)
+		os.Exit(1)
+	}
 }

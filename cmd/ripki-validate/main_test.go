@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeVRPs writes a small VRP CSV fixture: 10.0.0.0/16-24 => AS64500.
+func writeVRPs(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "vrps.csv")
+	csv := "prefix,maxLength,ASN\n10.0.0.0/16,24,AS64500\n192.0.2.0/24,24,AS64501\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSingleRouteModes(t *testing.T) {
+	vrps := writeVRPs(t)
+	var out, errBuf bytes.Buffer
+
+	// Valid route: exit 0, covering VRP printed.
+	err := run([]string{"-vrps", vrps, "10.0.0.0/16", "64500"}, strings.NewReader(""), &out, &errBuf)
+	if err != nil {
+		t.Fatalf("valid route: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid") || !strings.Contains(out.String(), "covered by") {
+		t.Fatalf("output: %s", out.String())
+	}
+
+	// Invalid route found → errInvalidRoute (exit 1).
+	out.Reset()
+	err = run([]string{"-vrps", vrps, "10.0.0.0/16", "64999"}, strings.NewReader(""), &out, &errBuf)
+	if !errors.Is(err, errInvalidRoute) {
+		t.Fatalf("invalid route: err = %v, want errInvalidRoute", err)
+	}
+
+	// "AS" prefix accepted on the origin.
+	out.Reset()
+	if err := run([]string{"-vrps", vrps, "10.0.0.0/16", "AS64500"}, strings.NewReader(""), &out, &errBuf); err != nil {
+		t.Fatalf("AS-prefixed origin: %v", err)
+	}
+}
+
+func TestBatchMode(t *testing.T) {
+	vrps := writeVRPs(t)
+	stdin := strings.NewReader(`
+# comment and blank lines are skipped
+
+10.0.0.0/16 64500
+10.0.0.0/16 64999
+203.0.113.0/24 64500
+`)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-vrps", vrps, "-batch"}, stdin, &out, &errBuf)
+	if !errors.Is(err, errInvalidRoute) {
+		t.Fatalf("batch with an invalid route: err = %v, want errInvalidRoute", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 3 rows, got %d lines:\n%s", len(lines), out.String())
+	}
+	if lines[0] != "prefix\tasn\tstate\tcovering" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	for i, want := range []struct{ state, covering string }{
+		{"valid", "10.0.0.0/16-24=>AS64500"},
+		{"invalid", "10.0.0.0/16-24=>AS64500"},
+		{"notfound", "-"},
+	} {
+		cols := strings.Split(lines[i+1], "\t")
+		if len(cols) != 4 || cols[2] != want.state || cols[3] != want.covering {
+			t.Errorf("row %d = %q, want state %s covering %s", i, lines[i+1], want.state, want.covering)
+		}
+	}
+
+	// An all-clean batch exits 0.
+	out.Reset()
+	if err := run([]string{"-vrps", vrps, "-batch"}, strings.NewReader("10.0.0.0/16 64500\n"), &out, &errBuf); err != nil {
+		t.Fatalf("clean batch: %v", err)
+	}
+
+	// A malformed line is a runtime error naming the line.
+	err = run([]string{"-vrps", vrps, "-batch"}, strings.NewReader("banana\n"), &out, &errBuf)
+	if err == nil || errors.Is(err, errFlagParse) || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("malformed line: %v", err)
+	}
+}
+
+// TestUsageErrors: every usage mistake is errFlagParse (exit 2), and
+// -h is a clean exit.
+func TestUsageErrors(t *testing.T) {
+	vrps := writeVRPs(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-h"}, strings.NewReader(""), &out, &errBuf); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+	if !strings.Contains(errBuf.String(), "-batch") {
+		t.Fatalf("-h printed no usage: %s", errBuf.String())
+	}
+	for _, args := range [][]string{
+		{},                                 // no source
+		{"-vrps", vrps},                    // no routes
+		{"-vrps", vrps, "10.0.0.0/16"},     // odd argument count
+		{"-vrps", vrps, "banana", "64500"}, // bad prefix operand
+		{"-vrps", vrps, "-batch", "10.0.0.0/16", "64500"}, // batch + args
+		{"-no-such-flag"},
+	} {
+		errBuf.Reset()
+		if err := run(args, strings.NewReader(""), &out, &errBuf); !errors.Is(err, errFlagParse) {
+			t.Errorf("args %v: err = %v, want errFlagParse", args, err)
+		}
+	}
+	// A missing VRP file is a runtime error (exit 1), not usage.
+	if err := run([]string{"-vrps", "/no/such.csv", "10.0.0.0/16", "1"}, strings.NewReader(""), &out, &errBuf); err == nil || errors.Is(err, errFlagParse) {
+		t.Errorf("missing file: %v", err)
+	}
+}

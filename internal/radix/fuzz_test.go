@@ -1,0 +1,179 @@
+package radix
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+
+	"ripki/internal/netutil"
+)
+
+// The tree is the validation service's hot read path, and Delete (used
+// by live VRP withdrawals) leaves structural nodes behind by design —
+// so Covering/Delete interleavings deserve model-based testing: every
+// operation is mirrored into a plain map and the tree must agree with
+// the brute-force answer afterwards.
+
+// model is the naive reference: a map of valued canonical prefixes.
+type model map[netip.Prefix]int
+
+// covering computes the reference answer for Tree.Covering: every
+// valued prefix containing addr, shortest to longest.
+func (m model) covering(addr netip.Addr) []Entry[int] {
+	var out []Entry[int]
+	for p, v := range m {
+		if p.Addr().Is4() == addr.Is4() && p.Contains(addr) {
+			out = append(out, Entry[int]{Prefix: p, Value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Bits() < out[j].Prefix.Bits() })
+	return out
+}
+
+// coveringPrefix computes the reference answer for Tree.CoveringPrefix.
+func (m model) coveringPrefix(q netip.Prefix) []Entry[int] {
+	var out []Entry[int]
+	for p, v := range m {
+		if p.Addr().Is4() == q.Addr().Is4() && p.Bits() <= q.Bits() && p.Contains(q.Addr()) {
+			out = append(out, Entry[int]{Prefix: p, Value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Bits() < out[j].Prefix.Bits() })
+	return out
+}
+
+// checkAgainstModel compares every query the service relies on.
+func checkAgainstModel(t *testing.T, tr *Tree[int], m model, probes []netip.Addr) {
+	t.Helper()
+	if tr.Len() != len(m) {
+		t.Fatalf("Len = %d, model has %d", tr.Len(), len(m))
+	}
+	for p, v := range m {
+		got, ok := tr.Lookup(p)
+		if !ok || got != v {
+			t.Fatalf("Lookup(%v) = %v, %v; model has %v", p, got, ok, v)
+		}
+	}
+	for _, addr := range probes {
+		got := tr.Covering(addr, nil)
+		want := m.covering(addr)
+		if len(got) != len(want) {
+			t.Fatalf("Covering(%v): %d entries, model says %d (%v vs %v)", addr, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Covering(%v)[%d] = %v, model says %v", addr, i, got[i], want[i])
+			}
+		}
+		// CoveringPrefix at the host route must agree with Covering.
+		q := netip.PrefixFrom(addr, netutil.FamilyBits(addr))
+		gotP := tr.CoveringPrefix(q, nil)
+		wantP := m.coveringPrefix(q)
+		if len(gotP) != len(wantP) {
+			t.Fatalf("CoveringPrefix(%v): %d entries, model says %d", q, len(gotP), len(wantP))
+		}
+		for i := range gotP {
+			if gotP[i] != wantP[i] {
+				t.Fatalf("CoveringPrefix(%v)[%d] = %v, model says %v", q, i, gotP[i], wantP[i])
+			}
+		}
+	}
+}
+
+// smallPrefix4 draws a canonical IPv4 prefix from a deliberately small
+// universe so inserts, deletes and probes collide often.
+func smallPrefix4(rnd *rand.Rand) netip.Prefix {
+	bits := rnd.Intn(25) // 0../24
+	addr := netip.AddrFrom4([4]byte{byte(10 + rnd.Intn(2)), byte(rnd.Intn(4)), byte(rnd.Intn(4)), 0})
+	p, _ := netutil.Canonical(netip.PrefixFrom(addr, bits))
+	return p
+}
+
+// TestCoveringDeleteInterleavingsProperty runs randomized
+// insert/delete/re-insert interleavings against the model. Deletes
+// leave structural nodes in place, so re-inserting under a deleted
+// glue node is exactly the shape that needs coverage.
+func TestCoveringDeleteInterleavingsProperty(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		var tr Tree[int]
+		m := model{}
+		probes := make([]netip.Addr, 0, 16)
+		for i := 0; i < 16; i++ {
+			probes = append(probes, netip.AddrFrom4([4]byte{byte(10 + rnd.Intn(2)), byte(rnd.Intn(4)), byte(rnd.Intn(4)), byte(rnd.Intn(2))}))
+		}
+		for op := 0; op < 400; op++ {
+			p := smallPrefix4(rnd)
+			switch rnd.Intn(3) {
+			case 0, 1: // insert wins 2:1 so the tree stays populated
+				v := rnd.Intn(1000)
+				if err := tr.Insert(p, v); err != nil {
+					t.Fatal(err)
+				}
+				m[p] = v
+			case 2:
+				got := tr.Delete(p)
+				_, want := m[p]
+				if got != want {
+					t.Fatalf("seed %d op %d: Delete(%v) = %v, model says %v", seed, op, p, got, want)
+				}
+				delete(m, p)
+			}
+			if op%40 == 39 {
+				checkAgainstModel(t, &tr, m, probes)
+			}
+		}
+		checkAgainstModel(t, &tr, m, probes)
+	}
+}
+
+// FuzzCoveringDelete interprets fuzz bytes as an op sequence over a
+// tiny prefix universe and cross-checks the tree against the model
+// after every query. Run with `go test -fuzz FuzzCoveringDelete`; the
+// seed corpus keeps it meaningful as a plain test.
+func FuzzCoveringDelete(f *testing.F) {
+	f.Add([]byte{0x00, 0x12, 0x83, 0x45, 0x02, 0x7f})
+	f.Add([]byte{0xff, 0x01, 0x80, 0x81, 0x82, 0x83, 0x84, 0x85})
+	f.Add([]byte("interleave-deletes-with-covering-queries"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Tree[int]
+		m := model{}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, a, b := data[i], data[i+1], data[i+2]
+			bits := int(a) % 25
+			addr := netip.AddrFrom4([4]byte{10, a % 4, b % 4, 0})
+			p, _ := netutil.Canonical(netip.PrefixFrom(addr, bits))
+			switch op % 4 {
+			case 0, 1:
+				v := int(b)
+				if err := tr.Insert(p, v); err != nil {
+					t.Fatal(err)
+				}
+				m[p] = v
+			case 2:
+				got := tr.Delete(p)
+				_, want := m[p]
+				if got != want {
+					t.Fatalf("Delete(%v) = %v, model says %v", p, got, want)
+				}
+				delete(m, p)
+			case 3:
+				probe := netip.AddrFrom4([4]byte{10, a % 4, b % 4, b % 2})
+				got := tr.Covering(probe, nil)
+				want := m.covering(probe)
+				if len(got) != len(want) {
+					t.Fatalf("Covering(%v): %v, model says %v", probe, got, want)
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("Covering(%v)[%d] = %v, model says %v", probe, j, got[j], want[j])
+					}
+				}
+			}
+		}
+		if tr.Len() != len(m) {
+			t.Fatalf("Len = %d, model has %d", tr.Len(), len(m))
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package vrp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"ripki/internal/netutil"
+	"ripki/internal/radix"
+)
+
+// Index is an immutable, lock-free counterpart of Set: the same
+// radix-backed RFC 6811 queries, but frozen at construction. Because
+// nothing can mutate it, every method is safe for any number of
+// concurrent readers without taking a lock — the validation service
+// publishes one Index per snapshot behind an atomic pointer and lets
+// the read path scale linearly with cores.
+type Index struct {
+	tree  radix.Tree[[]VRP]
+	count int
+}
+
+// NewIndex builds an index from a slice of VRPs. Prefixes are
+// canonicalised and duplicate triples collapse, exactly as in Set.Add
+// (both run the same insertVRP).
+func NewIndex(vs []VRP) (*Index, error) {
+	ix := &Index{}
+	for _, v := range vs {
+		inserted, err := insertVRP(&ix.tree, v)
+		if err != nil {
+			return nil, err
+		}
+		if inserted {
+			ix.count++
+		}
+	}
+	return ix, nil
+}
+
+// IndexOf freezes a Set into an Index.
+func IndexOf(s *Set) (*Index, error) { return NewIndex(s.All()) }
+
+// Len returns the number of distinct VRPs.
+func (ix *Index) Len() int { return ix.count }
+
+// Validate classifies the route (prefix, originAS) per RFC 6811.
+func (ix *Index) Validate(prefix netip.Prefix, originAS uint32) State {
+	st, _ := ix.ValidateExplain(prefix, originAS)
+	return st
+}
+
+// ValidateExplain is Validate plus the list of covering VRPs
+// considered. It takes no lock and allocates only the covering slice.
+func (ix *Index) ValidateExplain(prefix netip.Prefix, originAS uint32) (State, []VRP) {
+	cp, err := netutil.Canonical(prefix)
+	if err != nil {
+		return NotFound, nil
+	}
+	return classify(ix.tree.CoveringPrefix(cp, nil), cp, originAS)
+}
+
+// All returns every VRP, sorted by prefix then maxLength then ASN.
+func (ix *Index) All() []VRP {
+	out := make([]VRP, 0, ix.count)
+	ix.tree.Walk(func(_ netip.Prefix, vs []VRP) bool {
+		out = append(out, vs...)
+		return true
+	})
+	sortAll(out)
+	return out
+}
+
+// insertVRP validates, canonicalises and stores one VRP into a tree,
+// reporting whether it was new — the single implementation Set.Add and
+// NewIndex share (the Set additionally wraps it in its mutex).
+func insertVRP(tree *radix.Tree[[]VRP], v VRP) (bool, error) {
+	cp, err := netutil.Canonical(v.Prefix)
+	if err != nil {
+		return false, fmt.Errorf("vrp: %w", err)
+	}
+	if v.MaxLength < cp.Bits() || v.MaxLength > netutil.FamilyBits(cp.Addr()) {
+		return false, fmt.Errorf("vrp: maxLength %d out of range for %v", v.MaxLength, cp)
+	}
+	v.Prefix = cp
+	existing, _ := tree.Lookup(cp)
+	for _, e := range existing {
+		if e == v {
+			return false, nil
+		}
+	}
+	if err := tree.Insert(cp, append(existing, v)); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// classify applies the RFC 6811 decision to the covering entries of a
+// canonical route prefix — the single implementation Set and Index
+// share.
+func classify(entries []radix.Entry[[]VRP], cp netip.Prefix, originAS uint32) (State, []VRP) {
+	if len(entries) == 0 {
+		return NotFound, nil
+	}
+	var covering []VRP
+	state := Invalid
+	for _, e := range entries {
+		for _, v := range e.Value {
+			covering = append(covering, v)
+			if v.ASN == originAS && originAS != 0 && cp.Bits() <= v.MaxLength {
+				state = Valid
+			}
+		}
+	}
+	return state, covering
+}
+
+// sortAll orders VRPs by (prefix, maxLength, ASN) — the canonical order
+// All (on both Set and Index) reports.
+func sortAll(out []VRP) {
+	sort.Slice(out, func(i, j int) bool {
+		if c := netutil.ComparePrefixes(out[i].Prefix, out[j].Prefix); c != 0 {
+			return c < 0
+		}
+		if out[i].MaxLength != out[j].MaxLength {
+			return out[i].MaxLength < out[j].MaxLength
+		}
+		return out[i].ASN < out[j].ASN
+	})
+}

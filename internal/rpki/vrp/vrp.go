@@ -16,7 +16,6 @@ package vrp
 import (
 	"fmt"
 	"net/netip"
-	"sort"
 	"sync"
 
 	"ripki/internal/netutil"
@@ -87,26 +86,15 @@ func FromVRPs(vs []VRP) (*Set, error) {
 
 // Add inserts a VRP. Duplicate triples are ignored.
 func (s *Set) Add(v VRP) error {
-	cp, err := netutil.Canonical(v.Prefix)
-	if err != nil {
-		return fmt.Errorf("vrp: %w", err)
-	}
-	if v.MaxLength < cp.Bits() || v.MaxLength > netutil.FamilyBits(cp.Addr()) {
-		return fmt.Errorf("vrp: maxLength %d out of range for %v", v.MaxLength, cp)
-	}
-	v.Prefix = cp
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	existing, _ := s.tree.Lookup(cp)
-	for _, e := range existing {
-		if e == v {
-			return nil
-		}
-	}
-	if err := s.tree.Insert(cp, append(existing, v)); err != nil {
+	inserted, err := insertVRP(&s.tree, v)
+	if err != nil {
 		return err
 	}
-	s.count++
+	if inserted {
+		s.count++
+	}
 	return nil
 }
 
@@ -132,21 +120,7 @@ func (s *Set) ValidateExplain(prefix netip.Prefix, originAS uint32) (State, []VR
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	entries := s.tree.CoveringPrefix(cp, nil)
-	if len(entries) == 0 {
-		return NotFound, nil
-	}
-	var covering []VRP
-	state := Invalid
-	for _, e := range entries {
-		for _, v := range e.Value {
-			covering = append(covering, v)
-			if v.ASN == originAS && originAS != 0 && cp.Bits() <= v.MaxLength {
-				state = Valid
-			}
-		}
-	}
-	return state, covering
+	return classify(s.tree.CoveringPrefix(cp, nil), cp, originAS)
 }
 
 // All returns every VRP, sorted by prefix then maxLength then ASN.
@@ -159,15 +133,7 @@ func (s *Set) All() []VRP {
 		out = append(out, vs...)
 		return true
 	})
-	sort.Slice(out, func(i, j int) bool {
-		if c := netutil.ComparePrefixes(out[i].Prefix, out[j].Prefix); c != 0 {
-			return c < 0
-		}
-		if out[i].MaxLength != out[j].MaxLength {
-			return out[i].MaxLength < out[j].MaxLength
-		}
-		return out[i].ASN < out[j].ASN
-	})
+	sortAll(out)
 	return out
 }
 

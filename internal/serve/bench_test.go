@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+)
+
+// BenchmarkServeValidate measures the in-process lookup path — one
+// snapshot-pointer load plus an RFC 6811 classification with covering
+// VRPs — at 1, 4 and 8 concurrent goroutines. Because the read path is
+// lock-free, throughput should scale with cores (a single-core
+// container shows flat ns/op across the variants; watch the scaling on
+// multi-core CI). Gated in BENCH_baseline.json via tools/benchgate.
+func BenchmarkServeValidate(b *testing.B) {
+	w, dt := testSetup(b)
+	s := New(dt)
+	if _, err := s.PublishSet(w.Validation().VRPs, "world", 0); err != nil {
+		b.Fatal(err)
+	}
+	// A fixed route mix: every VRP probed at its own origin (valid), at
+	// a wrong origin (invalid), and a rotation of uncovered prefixes
+	// (notfound) — the classifier's three paths in one loop.
+	type route struct {
+		prefix netip.Prefix
+		asn    uint32
+	}
+	var routes []route
+	for i, v := range s.Current().Index.All() {
+		routes = append(routes, route{v.Prefix, v.ASN})
+		routes = append(routes, route{v.Prefix, 64999})
+		uncovered := netip.PrefixFrom(netip.AddrFrom4([4]byte{203, 0, byte(113 + i%16), 0}), 24)
+		routes = append(routes, route{uncovered, v.ASN})
+	}
+	if len(routes) == 0 {
+		b.Fatal("no VRPs to probe")
+	}
+
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			per := b.N / g
+			b.ResetTimer()
+			for wkr := 0; wkr < g; wkr++ {
+				n := per
+				if wkr == 0 {
+					n += b.N % g
+				}
+				wg.Add(1)
+				go func(wkr, n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						r := routes[(wkr*31+i)%len(routes)]
+						sn := s.Current()
+						res := sn.ValidateRoute(r.prefix, r.asn)
+						if res.State == "" {
+							panic("empty state")
+						}
+					}
+				}(wkr, n)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"ripki/internal/dns"
+	"ripki/internal/measure"
+	"ripki/internal/netutil"
+	"ripki/internal/rib"
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/webworld"
+)
+
+// domainEntry is one domain's VRP-independent measurement state: the
+// distinct (prefix, origin AS) pairs serving each name variant, per the
+// paper's methodology steps 2–3 (DNS resolution, special-purpose
+// filtering, RIB covering-prefix extraction). Validation (step 4) is
+// deliberately NOT baked in — it is re-run against each snapshot's VRP
+// index, which is what lets the service answer under live VRP churn
+// without re-measuring.
+type domainEntry struct {
+	name string
+	rank int
+	cdn  bool
+
+	www, apex                 []rib.PrefixOrigin
+	wwwResolved, apexResolved bool
+}
+
+// DomainListing is one row of GET /v1/domains.
+type DomainListing struct {
+	Name string `json:"name"`
+	Rank int    `json:"rank"`
+}
+
+// DomainTable maps domain names to their serving routes. It is built
+// once (DNS and RIB state is VRP-independent) and shared by every
+// snapshot; after construction it is immutable and lock-free.
+type DomainTable struct {
+	byName  map[string]*domainEntry
+	ordered []*domainEntry // rank order
+	headCut int            // head/tail split for exposure aggregation
+}
+
+// BuildDomainTable resolves every domain of the world's ranked list —
+// both the www and the apex variant — and extracts the covering
+// (prefix, origin) pairs from the world's RIB.
+func BuildDomainTable(w *webworld.World) (*DomainTable, error) {
+	resolver := dns.RegistryResolver{Registry: w.Registry}
+	entries := w.List.Entries()
+	t := &DomainTable{
+		byName:  make(map[string]*domainEntry, len(entries)),
+		ordered: make([]*domainEntry, len(entries)),
+	}
+	maxRank := 0
+
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(entries) + workers - 1) / workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	for start := 0; start < len(entries); start += chunk {
+		end := min(start+chunk, len(entries))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				e := &domainEntry{name: entries[i].Domain, rank: entries[i].Rank}
+				var chain int
+				var err error
+				if e.www, e.wwwResolved, chain, err = resolveVariant(resolver, w.RIB, "www."+e.name); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				// The paper's conservative CDN heuristic: the www name is
+				// reached through two or more CNAMEs.
+				e.cdn = e.wwwResolved && chain >= 2
+				if e.apex, e.apexResolved, _, err = resolveVariant(resolver, w.RIB, e.name); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				t.ordered[i] = e
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, e := range t.ordered {
+		t.byName[e.name] = e
+		if e.rank > maxRank {
+			maxRank = e.rank
+		}
+	}
+	t.headCut = maxRank / 10
+	if t.headCut == 0 {
+		t.headCut = 1
+	}
+	return t, nil
+}
+
+// resolveVariant maps one name to its distinct (prefix, origin) pairs:
+// resolve, drop IANA special-purpose answers, look every remaining
+// address up in the RIB. Pair order is deterministic (prefix, origin).
+func resolveVariant(resolver dns.Lookuper, table *rib.Table, name string) (pairs []rib.PrefixOrigin, resolved bool, chain int, err error) {
+	res, err := resolver.LookupWeb(name)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	chain = res.CNAMECount()
+	if res.NXDomain {
+		return nil, false, chain, nil
+	}
+	seen := make(map[rib.PrefixOrigin]bool, 4)
+	for _, a := range res.Addrs {
+		if netutil.IsSpecialPurpose(a) {
+			continue
+		}
+		resolved = true
+		for _, po := range table.OriginPairs(a) {
+			if !seen[po] {
+				seen[po] = true
+				pairs = append(pairs, po)
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if c := netutil.ComparePrefixes(pairs[i].Prefix, pairs[j].Prefix); c != 0 {
+			return c < 0
+		}
+		return pairs[i].Origin < pairs[j].Origin
+	})
+	return pairs, resolved, chain, nil
+}
+
+// Len returns the number of domains in the table.
+func (t *DomainTable) Len() int { return len(t.ordered) }
+
+// Listing returns up to limit domains in rank order (limit <= 0 means
+// all).
+func (t *DomainTable) Listing(limit int) []DomainListing {
+	n := len(t.ordered)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]DomainListing, n)
+	for i := 0; i < n; i++ {
+		out[i] = DomainListing{Name: t.ordered[i].name, Rank: t.ordered[i].rank}
+	}
+	return out
+}
+
+// lookup finds a domain by name, accepting an optional "www." label.
+func (t *DomainTable) lookup(name string) (*domainEntry, bool) {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	if e, ok := t.byName[name]; ok {
+		return e, true
+	}
+	if rest, ok := strings.CutPrefix(name, "www."); ok {
+		e, ok := t.byName[rest]
+		return e, ok
+	}
+	return nil, false
+}
+
+// exposure aggregates the table's per-domain www state probabilities
+// against a VRP index, in measure.Snapshot's terms: mean valid /
+// invalid / notfound / coverage plus the head-vs-tail protection split
+// the paper's figures revolve around. Writers call it once per publish;
+// snapshots serve the precomputed value.
+func (t *DomainTable) exposure(ix *vrp.Index) measure.ExposureSnapshot {
+	var snap measure.ExposureSnapshot
+	var headN, tailN float64
+	for _, e := range t.ordered {
+		if !e.wwwResolved || len(e.www) == 0 {
+			continue
+		}
+		snap.Domains++
+		valid, invalid := 0, 0
+		for _, po := range e.www {
+			switch ix.Validate(po.Prefix, po.Origin) {
+			case vrp.Valid:
+				valid++
+			case vrp.Invalid:
+				invalid++
+			}
+		}
+		n := float64(len(e.www))
+		validP := float64(valid) / n
+		snap.Valid += validP
+		snap.Invalid += float64(invalid) / n
+		snap.NotFound += float64(len(e.www)-valid-invalid) / n
+		snap.Coverage += float64(valid+invalid) / n
+		if e.rank <= t.headCut {
+			snap.HeadValid += validP
+			headN++
+		} else {
+			snap.TailValid += validP
+			tailN++
+		}
+	}
+	if snap.Domains > 0 {
+		n := float64(snap.Domains)
+		snap.Valid /= n
+		snap.Invalid /= n
+		snap.NotFound /= n
+		snap.Coverage /= n
+	}
+	if headN > 0 {
+		snap.HeadValid /= headN
+	}
+	if tailN > 0 {
+		snap.TailValid /= tailN
+	}
+	return snap
+}

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"time"
+)
+
+// maxBatchRoutes bounds one POST /v1/validate body; larger batches
+// should be split by the client (loadgen's default is far below this).
+const maxBatchRoutes = 4096
+
+// Handler returns the service's HTTP API. Every handler follows the
+// same discipline: load the snapshot pointer once, answer entirely from
+// that snapshot, take no mutex. Instrumentation is atomic counters
+// only, so the whole read path is lock-free.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/validate", s.instrument("validate", s.handleValidatePost))
+	mux.Handle("GET /v1/validate", s.instrument("validate", s.handleValidateGet))
+	mux.Handle("GET /v1/domain/{name}", s.instrument("domain", s.handleDomain))
+	mux.Handle("GET /v1/domains", s.instrument("domains", s.handleDomains))
+	mux.Handle("GET /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return mux
+}
+
+// statusRecorder captures the response status for the error counter.
+// One per request, never shared — no synchronisation needed.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the lock-free request metrics.
+func (s *Service) instrument(name string, h http.HandlerFunc) http.Handler {
+	em, ok := s.metrics.endpoints[name]
+	if !ok {
+		panic("serve: unregistered endpoint " + name)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		em.observe(time.Since(start), rec.status)
+	})
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// current loads the snapshot or answers 503 (no snapshot published
+// yet — an RTR-fed service that has not completed its first sync).
+func (s *Service) current(w http.ResponseWriter) *Snapshot {
+	sn := s.Current()
+	if sn == nil {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+	}
+	return sn
+}
+
+// routeSpec is one route in a validate request.
+type routeSpec struct {
+	Prefix string `json:"prefix"`
+	ASN    uint32 `json:"asn"`
+}
+
+// validateRequest accepts either a single route or a batch.
+type validateRequest struct {
+	routeSpec
+	Routes []routeSpec `json:"routes"`
+}
+
+// validateResponse carries the snapshot identity with the results, so
+// a caller can tell exactly which published state answered.
+type validateResponse struct {
+	Serial       uint64        `json:"serial"`
+	Source       string        `json:"source"`
+	SourceSerial uint32        `json:"source_serial"`
+	Results      []RouteResult `json:"results"`
+}
+
+// parseRoute turns a routeSpec into a netip route.
+func parseRoute(spec routeSpec) (netip.Prefix, uint32, error) {
+	p, err := netip.ParsePrefix(spec.Prefix)
+	if err != nil {
+		return netip.Prefix{}, 0, fmt.Errorf("bad prefix %q: %v", spec.Prefix, err)
+	}
+	return p, spec.ASN, nil
+}
+
+// answerRoutes validates the specs against one snapshot and responds.
+func answerRoutes(w http.ResponseWriter, sn *Snapshot, specs []routeSpec) {
+	results := make([]RouteResult, 0, len(specs))
+	for _, spec := range specs {
+		p, asn, err := parseRoute(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		results = append(results, sn.ValidateRoute(p, asn))
+	}
+	writeJSON(w, http.StatusOK, validateResponse{
+		Serial:       sn.Serial,
+		Source:       sn.Source,
+		SourceSerial: sn.SourceSerial,
+		Results:      results,
+	})
+}
+
+func (s *Service) handleValidatePost(w http.ResponseWriter, r *http.Request) {
+	sn := s.current(w)
+	if sn == nil {
+		return
+	}
+	var req validateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	specs := req.Routes
+	if specs == nil {
+		if req.Prefix == "" {
+			writeError(w, http.StatusBadRequest, `want {"prefix": ..., "asn": ...} or {"routes": [...]}`)
+			return
+		}
+		specs = []routeSpec{req.routeSpec}
+	}
+	if len(specs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty route batch")
+		return
+	}
+	if len(specs) > maxBatchRoutes {
+		writeError(w, http.StatusBadRequest, "batch of %d routes exceeds limit %d", len(specs), maxBatchRoutes)
+		return
+	}
+	answerRoutes(w, sn, specs)
+}
+
+func (s *Service) handleValidateGet(w http.ResponseWriter, r *http.Request) {
+	sn := s.current(w)
+	if sn == nil {
+		return
+	}
+	prefix := r.URL.Query().Get("prefix")
+	asnText := r.URL.Query().Get("asn")
+	if prefix == "" || asnText == "" {
+		writeError(w, http.StatusBadRequest, "want ?prefix=<cidr>&asn=<asn>")
+		return
+	}
+	asn, err := strconv.ParseUint(asnText, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad asn %q: %v", asnText, err)
+		return
+	}
+	answerRoutes(w, sn, []routeSpec{{Prefix: prefix, ASN: uint32(asn)}})
+}
+
+func (s *Service) handleDomain(w http.ResponseWriter, r *http.Request) {
+	sn := s.current(w)
+	if sn == nil {
+		return
+	}
+	name := r.PathValue("name")
+	verdict, ok := sn.Domain(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "domain %q not in the measured population", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, verdict)
+}
+
+func (s *Service) handleDomains(w http.ResponseWriter, r *http.Request) {
+	sn := s.current(w)
+	if sn == nil {
+		return
+	}
+	limit := 0
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", l)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Serial  uint64          `json:"serial"`
+		Count   int             `json:"count"`
+		Domains []DomainListing `json:"domains"`
+	}{sn.Serial, sn.Domains.Len(), sn.Domains.Listing(limit)})
+}
+
+// snapshotInfo is the GET /v1/snapshot body.
+type snapshotInfo struct {
+	Serial       uint64       `json:"serial"`
+	Source       string       `json:"source"`
+	SourceSerial uint32       `json:"source_serial"`
+	VRPs         int          `json:"vrps"`
+	Domains      int          `json:"domains"`
+	Exposure     exposureJSON `json:"exposure"`
+}
+
+// exposureJSON renders measure.ExposureSnapshot for the API.
+type exposureJSON struct {
+	Domains   int     `json:"domains"`
+	Valid     float64 `json:"valid"`
+	Invalid   float64 `json:"invalid"`
+	NotFound  float64 `json:"notfound"`
+	Coverage  float64 `json:"coverage"`
+	HeadValid float64 `json:"head_valid"`
+	TailValid float64 `json:"tail_valid"`
+}
+
+func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sn := s.current(w)
+	if sn == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotInfo{
+		Serial:       sn.Serial,
+		Source:       sn.Source,
+		SourceSerial: sn.SourceSerial,
+		VRPs:         sn.Index.Len(),
+		Domains:      sn.Domains.Len(),
+		Exposure: exposureJSON{
+			Domains:   sn.Exposure.Domains,
+			Valid:     sn.Exposure.Valid,
+			Invalid:   sn.Exposure.Invalid,
+			NotFound:  sn.Exposure.NotFound,
+			Coverage:  sn.Exposure.Coverage,
+			HeadValid: sn.Exposure.HeadValid,
+			TailValid: sn.Exposure.TailValid,
+		},
+	})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sn := s.Current()
+	if sn == nil {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{"starting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Serial uint64 `json:"serial"`
+		VRPs   int    `json:"vrps"`
+	}{"ok", sn.Serial, sn.Index.Len()})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body := struct {
+		UptimeSeconds float64                  `json:"uptime_seconds"`
+		Serial        uint64                   `json:"serial"`
+		VRPs          int                      `json:"vrps"`
+		Domains       int                      `json:"domains"`
+		Endpoints     map[string]EndpointStats `json:"endpoints"`
+	}{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Endpoints:     s.metrics.snapshotStats(),
+	}
+	if sn := s.Current(); sn != nil {
+		body.Serial = sn.Serial
+		body.VRPs = sn.Index.Len()
+		body.Domains = sn.Domains.Len()
+	}
+	writeJSON(w, http.StatusOK, body)
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"ripki/internal/stats"
+)
+
+// The metrics layer must not reintroduce a lock on the read path, so it
+// is built entirely from atomics: per-endpoint request/error counters
+// and a log₂-bucketed latency histogram. Count, sum, min and max are
+// exact; the p50/p95/p99 read out of the histogram are bucket-resolution
+// estimates (each bucket spans one power of two of nanoseconds, with
+// linear interpolation inside the bucket), rendered in stats.Summary's
+// shape so every quantile surface in the repo reads the same.
+
+// latBuckets spans 1ns .. ~17min in powers of two; observations beyond
+// the last bound clamp into the final bucket.
+const latBuckets = 40
+
+// endpointMetrics is one endpoint's lock-free accumulator.
+type endpointMetrics struct {
+	count   atomic.Uint64
+	errors  atomic.Uint64 // responses with status >= 400
+	sumNS   atomic.Uint64
+	minNS   atomic.Uint64 // math.MaxUint64 until the first observation
+	maxNS   atomic.Uint64
+	buckets [latBuckets]atomic.Uint64
+}
+
+func newEndpointMetrics() *endpointMetrics {
+	m := &endpointMetrics{}
+	m.minNS.Store(math.MaxUint64)
+	return m
+}
+
+// observe records one request.
+func (m *endpointMetrics) observe(d time.Duration, status int) {
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	m.count.Add(1)
+	if status >= 400 {
+		m.errors.Add(1)
+	}
+	m.sumNS.Add(ns)
+	for {
+		cur := m.minNS.Load()
+		if ns >= cur || m.minNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := m.maxNS.Load()
+		if ns <= cur || m.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	idx := bits.Len64(ns) // bucket b covers [2^(b-1), 2^b)
+	if idx >= latBuckets {
+		idx = latBuckets - 1
+	}
+	m.buckets[idx].Add(1)
+}
+
+// latencySummary renders the accumulator as a stats.Summary in seconds.
+// Count/min/max/mean are exact; quantiles are histogram estimates.
+func (m *endpointMetrics) latencySummary() stats.Summary {
+	count := m.count.Load()
+	if count == 0 {
+		return stats.Summarize(nil)
+	}
+	var counts [latBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = m.buckets[i].Load()
+		total += counts[i]
+	}
+	// Concurrent observers may have bumped count but not yet their
+	// bucket (or vice versa); quantiles use the bucket total so the
+	// cumulative walk is self-consistent. The same race can expose the
+	// min sentinel before the first observation's CAS lands — report
+	// the endpoint as empty rather than a 2^64ns minimum.
+	minNS, maxNS := m.minNS.Load(), m.maxNS.Load()
+	if minNS == math.MaxUint64 {
+		return stats.Summarize(nil)
+	}
+	s := stats.Summary{
+		Count: int(count),
+		Min:   float64(minNS) / 1e9,
+		Max:   float64(maxNS) / 1e9,
+		Mean:  float64(m.sumNS.Load()) / float64(count) / 1e9,
+	}
+	s.P50 = histQuantile(&counts, total, 0.50, minNS, maxNS)
+	s.P95 = histQuantile(&counts, total, 0.95, minNS, maxNS)
+	s.P99 = histQuantile(&counts, total, 0.99, minNS, maxNS)
+	return s
+}
+
+// histQuantile walks the cumulative histogram to the q-th observation
+// and interpolates linearly inside its bucket, clamped to the observed
+// [min, max]. Resolution is the bucket width (a factor of two).
+func histQuantile(counts *[latBuckets]uint64, total uint64, q float64, minNS, maxNS uint64) float64 {
+	if total == 0 {
+		return math.NaN()
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range counts {
+		c := float64(counts[i])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(uint64(1) << (i - 1))
+			}
+			hi := float64(uint64(1) << i)
+			frac := (target - cum) / c
+			ns := lo + frac*(hi-lo)
+			ns = math.Max(ns, float64(minNS))
+			ns = math.Min(ns, float64(maxNS))
+			return ns / 1e9
+		}
+		cum += c
+	}
+	return float64(maxNS) / 1e9
+}
+
+// metrics is the service-wide registry. The endpoint map is fixed at
+// construction, so lookups never need a lock.
+type metrics struct {
+	endpoints map[string]*endpointMetrics
+}
+
+// endpointNames is the fixed instrumentation vocabulary; instrument
+// panics on anything else, catching typos at test time.
+var endpointNames = []string{"validate", "domain", "domains", "snapshot", "healthz", "metrics"}
+
+func newMetrics() *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpointNames))}
+	for _, name := range endpointNames {
+		m.endpoints[name] = newEndpointMetrics()
+	}
+	return m
+}
+
+// EndpointStats is one endpoint's externally visible counters.
+type EndpointStats struct {
+	Count   uint64        `json:"count"`
+	Errors  uint64        `json:"errors"`
+	Latency stats.Summary `json:"latency_seconds"`
+}
+
+// snapshotStats collects every endpoint's counters.
+func (m *metrics) snapshotStats() map[string]EndpointStats {
+	out := make(map[string]EndpointStats, len(m.endpoints))
+	for name, em := range m.endpoints {
+		out[name] = EndpointStats{
+			Count:   em.count.Load(),
+			Errors:  em.errors.Load(),
+			Latency: em.latencySummary(),
+		}
+	}
+	return out
+}

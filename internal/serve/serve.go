@@ -1,0 +1,258 @@
+// Package serve is the always-on validation-as-a-service subsystem: it
+// answers the paper's core question — "is this piece of web content
+// reachable via an RPKI-protected route, and what breaks under strict
+// filtering?" — as an online query service instead of a one-shot CLI
+// or an offline sweep.
+//
+// The design centre is an immutable, versioned query snapshot published
+// through an atomic pointer:
+//
+//   - a Snapshot bundles a lock-free VRP index (vrp.Index over
+//     internal/radix), the domain→prefix exposure table derived from
+//     the webworld via the measurement pipeline's resolution rules, and
+//     a monotonically increasing serial;
+//   - writers (an RTR client session against a cache, an in-process
+//     sim scenario, or a direct Publish call) build a fresh Snapshot
+//     and swap the pointer — they never mutate a published one;
+//   - the read path loads the pointer once per request and answers
+//     entirely from that snapshot, so it takes no mutex, can never
+//     observe a half-applied update, and scales linearly with cores.
+//
+// HTTP surface (see Handler): POST/GET /v1/validate (single and batch
+// RFC 6811 origin validation with covering VRPs and the snapshot
+// serial), GET /v1/domain/{name} (per-domain exposure verdict à la the
+// paper's figures), GET /v1/domains, GET /v1/snapshot, GET /healthz,
+// and GET /metrics (lock-free request counters and latency quantiles
+// rendered as internal/stats summaries).
+package serve
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ripki/internal/measure"
+	"ripki/internal/rib"
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/webworld"
+)
+
+// CoveringVRP is the JSON rendering of one VRP considered for a route.
+type CoveringVRP struct {
+	Prefix    string `json:"prefix"`
+	MaxLength int    `json:"max_length"`
+	ASN       uint32 `json:"asn"`
+}
+
+// RouteResult is one route's origin-validation outcome.
+type RouteResult struct {
+	Prefix string `json:"prefix"`
+	ASN    uint32 `json:"asn"`
+	// State is "valid", "invalid" or "notfound" (RFC 6811).
+	State string `json:"state"`
+	// Covering lists every VRP covering the prefix, shortest first.
+	Covering []CoveringVRP `json:"covering,omitempty"`
+}
+
+// StateToken renders a validation state as the compact API token the
+// sim's time-series columns already use.
+func StateToken(st vrp.State) string {
+	switch st {
+	case vrp.Valid:
+		return "valid"
+	case vrp.Invalid:
+		return "invalid"
+	default:
+		return "notfound"
+	}
+}
+
+// Snapshot is one immutable, versioned view of the service's queryable
+// state. All fields are set before the snapshot is published and never
+// written afterwards, so any number of readers may use it concurrently
+// without synchronisation.
+type Snapshot struct {
+	// Serial is the service's own publication counter, strictly
+	// increasing; every response carries it so callers can correlate.
+	Serial uint64
+	// Source names the update source ("world", "csv", "rtr", "sim").
+	Source string
+	// SourceSerial is the source's own version (RTR cache serial, sim
+	// tick), informational.
+	SourceSerial uint32
+	// Index is the lock-free VRP index answering RFC 6811 queries.
+	Index *vrp.Index
+	// Domains is the domain exposure table (shared across snapshots —
+	// DNS and RIB state is VRP-independent).
+	Domains *DomainTable
+	// Exposure is the aggregate exposure of the domain population under
+	// this snapshot's VRPs, in the paper's figure terms.
+	Exposure measure.ExposureSnapshot
+}
+
+// ValidateRoute classifies one route against this snapshot.
+func (sn *Snapshot) ValidateRoute(prefix netip.Prefix, asn uint32) RouteResult {
+	st, covering := sn.Index.ValidateExplain(prefix, asn)
+	res := RouteResult{Prefix: prefix.String(), ASN: asn, State: StateToken(st)}
+	if len(covering) > 0 {
+		res.Covering = make([]CoveringVRP, len(covering))
+		for i, v := range covering {
+			res.Covering[i] = CoveringVRP{Prefix: v.Prefix.String(), MaxLength: v.MaxLength, ASN: v.ASN}
+		}
+	}
+	return res
+}
+
+// VariantVerdict is one name variant's exposure under a snapshot.
+type VariantVerdict struct {
+	Name     string `json:"name"`
+	Resolved bool   `json:"resolved"`
+	// Routes are the distinct (prefix, origin) pairs serving the name,
+	// each with its validation outcome.
+	Routes []RouteResult `json:"routes,omitempty"`
+	// Valid/Invalid/NotFound are the per-domain state probabilities
+	// over the pairs (the paper's fractional representation).
+	Valid    float64 `json:"valid"`
+	Invalid  float64 `json:"invalid"`
+	NotFound float64 `json:"notfound"`
+	// Coverage is the probability of being RPKI-covered at all.
+	Coverage float64 `json:"coverage"`
+	// Protected: every pair validates — a hijack of any serving prefix
+	// is dropped by strict-filtering relying parties.
+	Protected bool `json:"protected"`
+	// StrictReachable: at least one pair is not invalid, i.e. the name
+	// stays reachable when routers drop invalid announcements.
+	StrictReachable bool `json:"strict_reachable"`
+}
+
+// DomainVerdict is the per-domain exposure answer of GET /v1/domain.
+type DomainVerdict struct {
+	Domain string         `json:"domain"`
+	Rank   int            `json:"rank"`
+	CDN    bool           `json:"cdn"`
+	Serial uint64         `json:"serial"`
+	WWW    VariantVerdict `json:"www"`
+	Apex   VariantVerdict `json:"apex"`
+}
+
+// Domain answers the per-domain exposure query. The name may carry a
+// leading "www." label; both variants are always reported.
+func (sn *Snapshot) Domain(name string) (*DomainVerdict, bool) {
+	e, ok := sn.Domains.lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return &DomainVerdict{
+		Domain: e.name,
+		Rank:   e.rank,
+		CDN:    e.cdn,
+		Serial: sn.Serial,
+		WWW:    sn.variantVerdict("www."+e.name, e.www, e.wwwResolved),
+		Apex:   sn.variantVerdict(e.name, e.apex, e.apexResolved),
+	}, true
+}
+
+// variantVerdict validates one variant's pairs against the snapshot.
+func (sn *Snapshot) variantVerdict(name string, pairs []rib.PrefixOrigin, resolved bool) VariantVerdict {
+	v := VariantVerdict{Name: name, Resolved: resolved}
+	if !resolved || len(pairs) == 0 {
+		return v
+	}
+	v.Routes = make([]RouteResult, 0, len(pairs))
+	valid, invalid := 0, 0
+	for _, p := range pairs {
+		rr := sn.ValidateRoute(p.Prefix, p.Origin)
+		v.Routes = append(v.Routes, rr)
+		switch rr.State {
+		case "valid":
+			valid++
+		case "invalid":
+			invalid++
+		}
+	}
+	n := float64(len(pairs))
+	v.Valid = float64(valid) / n
+	v.Invalid = float64(invalid) / n
+	v.NotFound = float64(len(pairs)-valid-invalid) / n
+	v.Coverage = float64(valid+invalid) / n
+	v.Protected = valid == len(pairs)
+	v.StrictReachable = invalid < len(pairs)
+	return v
+}
+
+// Service publishes snapshots and serves queries over them. Writers
+// (Publish and the Run* sources) serialise on an internal mutex; the
+// read path — Current and every HTTP handler — only ever loads the
+// atomic snapshot pointer.
+type Service struct {
+	domains *DomainTable
+	metrics *metrics
+	start   time.Time
+
+	snap atomic.Pointer[Snapshot]
+
+	// pubMu serialises writers so serials and snapshots advance
+	// together. Readers never touch it.
+	pubMu  sync.Mutex
+	serial uint64
+}
+
+// New creates a service over a domain exposure table (which may be
+// empty). No snapshot is published yet: /healthz reports starting and
+// queries answer 503 until the first Publish.
+func New(domains *DomainTable) *Service {
+	if domains == nil {
+		domains = &DomainTable{}
+	}
+	return &Service{domains: domains, metrics: newMetrics(), start: time.Now()}
+}
+
+// NewFromWorld builds the domain table from a generated world, then
+// publishes the world's own validated ROA payloads as the first
+// snapshot (source "world") — the state a fully synchronised relying
+// party would serve at measurement time.
+func NewFromWorld(w *webworld.World) (*Service, error) {
+	dt, err := BuildDomainTable(w)
+	if err != nil {
+		return nil, err
+	}
+	s := New(dt)
+	if _, err := s.PublishSet(w.Validation().VRPs, "world", 0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Current returns the latest published snapshot, or nil before the
+// first publish. It is safe from any goroutine and takes no lock.
+func (s *Service) Current() *Snapshot { return s.snap.Load() }
+
+// Publish builds an immutable snapshot from the given VRPs and swaps
+// it in, bumping the serial. The VRP slice is copied into a fresh
+// index; the caller may reuse it afterwards.
+func (s *Service) Publish(vs []vrp.VRP, source string, sourceSerial uint32) (*Snapshot, error) {
+	ix, err := vrp.NewIndex(vs)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building index: %w", err)
+	}
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	s.serial++
+	sn := &Snapshot{
+		Serial:       s.serial,
+		Source:       source,
+		SourceSerial: sourceSerial,
+		Index:        ix,
+		Domains:      s.domains,
+		Exposure:     s.domains.exposure(ix),
+	}
+	s.snap.Store(sn)
+	return sn, nil
+}
+
+// PublishSet is Publish from a vrp.Set.
+func (s *Service) PublishSet(set *vrp.Set, source string, sourceSerial uint32) (*Snapshot, error) {
+	return s.Publish(set.All(), source, sourceSerial)
+}

@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/webworld"
+)
+
+// The test world is generated once; every test reads it through its own
+// Service (cheap — the expensive parts are the world and domain table).
+var (
+	worldOnce sync.Once
+	testWorld *webworld.World
+	testTable *DomainTable
+	worldErr  error
+)
+
+func testSetup(t testing.TB) (*webworld.World, *DomainTable) {
+	t.Helper()
+	worldOnce.Do(func() {
+		testWorld, worldErr = webworld.Generate(webworld.Config{Seed: 1, Domains: 2500})
+		if worldErr != nil {
+			return
+		}
+		testTable, worldErr = BuildDomainTable(testWorld)
+	})
+	if worldErr != nil {
+		t.Fatal(worldErr)
+	}
+	return testWorld, testTable
+}
+
+func testService(t testing.TB) *Service {
+	t.Helper()
+	w, dt := testSetup(t)
+	s := New(dt)
+	if _, err := s.PublishSet(w.Validation().VRPs, "world", 0); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// get performs one request against the in-process handler.
+func do(t testing.TB, h http.Handler, method, target, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	var decoded map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("%s %s: body not JSON (%v): %s", method, target, err, rec.Body.String())
+	}
+	return rec, decoded
+}
+
+func TestHealthzLifecycle(t *testing.T) {
+	_, dt := testSetup(t)
+	s := New(dt)
+	h := s.Handler()
+	rec, body := do(t, h, "GET", "/healthz", "")
+	if rec.Code != http.StatusServiceUnavailable || body["status"] != "starting" {
+		t.Fatalf("pre-publish healthz: %d %v", rec.Code, body)
+	}
+	// Queries are 503 before the first publish, too.
+	if rec, _ := do(t, h, "GET", "/v1/snapshot", ""); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-publish snapshot: %d", rec.Code)
+	}
+	if _, err := s.PublishSet(testWorld.Validation().VRPs, "world", 0); err != nil {
+		t.Fatal(err)
+	}
+	rec, body = do(t, h, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK || body["status"] != "ok" || body["serial"].(float64) != 1 {
+		t.Fatalf("post-publish healthz: %d %v", rec.Code, body)
+	}
+}
+
+func TestValidateEndpoint(t *testing.T) {
+	s := testService(t)
+	h := s.Handler()
+	all := s.Current().Index.All()
+	if len(all) == 0 {
+		t.Fatal("world produced no VRPs")
+	}
+	v := all[0]
+
+	// POST single: a route matching a VRP exactly must be valid.
+	body := `{"prefix": "` + v.Prefix.String() + `", "asn": ` + jsonNum(v.ASN) + `}`
+	rec, resp := do(t, h, "POST", "/v1/validate", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST validate: %d %v", rec.Code, resp)
+	}
+	results := resp["results"].([]any)
+	if len(results) != 1 {
+		t.Fatalf("results: %v", results)
+	}
+	first := results[0].(map[string]any)
+	if first["state"] != "valid" {
+		t.Fatalf("state = %v, want valid (route %v AS%d)", first["state"], v.Prefix, v.ASN)
+	}
+	if len(first["covering"].([]any)) == 0 {
+		t.Fatal("no covering VRPs on a valid route")
+	}
+	if resp["serial"].(float64) != 1 {
+		t.Fatalf("serial = %v, want 1", resp["serial"])
+	}
+
+	// Same route, wrong origin: invalid. Unrelated prefix: notfound.
+	batch := `{"routes": [
+		{"prefix": "` + v.Prefix.String() + `", "asn": 64999},
+		{"prefix": "203.0.113.0/24", "asn": 64999}
+	]}`
+	_, resp = do(t, h, "POST", "/v1/validate", batch)
+	results = resp["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("batch results: %v", results)
+	}
+	if st := results[0].(map[string]any)["state"]; st != "invalid" {
+		t.Fatalf("wrong-origin state = %v, want invalid", st)
+	}
+	if st := results[1].(map[string]any)["state"]; st != "notfound" {
+		t.Fatalf("uncovered state = %v, want notfound", st)
+	}
+
+	// GET convenience form.
+	rec, resp = do(t, h, "GET", "/v1/validate?prefix="+v.Prefix.String()+"&asn="+jsonNum(v.ASN), "")
+	if rec.Code != http.StatusOK || resp["results"].([]any)[0].(map[string]any)["state"] != "valid" {
+		t.Fatalf("GET validate: %d %v", rec.Code, resp)
+	}
+
+	// Bad requests.
+	for _, bad := range []string{
+		`{`,
+		`{"prefix": "not-a-prefix", "asn": 1}`,
+		`{"routes": []}`,
+		`{}`,
+		`{"unknown_field": 1}`,
+	} {
+		if rec, _ := do(t, h, "POST", "/v1/validate", bad); rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", bad, rec.Code)
+		}
+	}
+	if rec, _ := do(t, h, "GET", "/v1/validate?prefix=10.0.0.0/8", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("GET without asn: %d, want 400", rec.Code)
+	}
+}
+
+func TestDomainEndpoint(t *testing.T) {
+	s := testService(t)
+	h := s.Handler()
+	name := testTable.ordered[0].name
+
+	rec, body := do(t, h, "GET", "/v1/domain/"+name, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("domain %s: %d %v", name, rec.Code, body)
+	}
+	if body["domain"] != name || body["rank"].(float64) != 1 {
+		t.Fatalf("verdict identity: %v", body)
+	}
+	www := body["www"].(map[string]any)
+	if www["name"] != "www."+name {
+		t.Fatalf("www variant name: %v", www["name"])
+	}
+	if www["resolved"] == true {
+		probs := www["valid"].(float64) + www["invalid"].(float64) + www["notfound"].(float64)
+		if probs < 0.999 || probs > 1.001 {
+			t.Fatalf("state probabilities do not sum to 1: %v", www)
+		}
+	}
+
+	// The www.-prefixed spelling answers for the same domain.
+	_, viaWWW := do(t, h, "GET", "/v1/domain/www."+name, "")
+	if viaWWW["domain"] != name {
+		t.Fatalf("www.-prefixed lookup: %v", viaWWW["domain"])
+	}
+
+	if rec, _ := do(t, h, "GET", "/v1/domain/no-such-domain.example", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown domain: %d, want 404", rec.Code)
+	}
+}
+
+func TestDomainsListing(t *testing.T) {
+	s := testService(t)
+	h := s.Handler()
+	rec, body := do(t, h, "GET", "/v1/domains?limit=3", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("domains: %d", rec.Code)
+	}
+	if int(body["count"].(float64)) != testTable.Len() {
+		t.Fatalf("count = %v, want %d", body["count"], testTable.Len())
+	}
+	domains := body["domains"].([]any)
+	if len(domains) != 3 {
+		t.Fatalf("limit ignored: %d rows", len(domains))
+	}
+	if domains[0].(map[string]any)["rank"].(float64) != 1 {
+		t.Fatalf("not rank-ordered: %v", domains[0])
+	}
+}
+
+func TestSnapshotEndpointAndExposure(t *testing.T) {
+	s := testService(t)
+	h := s.Handler()
+	rec, body := do(t, h, "GET", "/v1/snapshot", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot: %d", rec.Code)
+	}
+	if body["source"] != "world" || body["vrps"].(float64) == 0 {
+		t.Fatalf("snapshot identity: %v", body)
+	}
+	exp := body["exposure"].(map[string]any)
+	if exp["domains"].(float64) == 0 {
+		t.Fatal("exposure aggregated over zero domains")
+	}
+	cov := exp["coverage"].(float64)
+	if cov <= 0 || cov >= 1 {
+		t.Fatalf("coverage %v outside (0, 1) — world should be partially covered", cov)
+	}
+
+	// Publishing an empty VRP set drives coverage to zero and bumps the
+	// serial — the exposure is truly per-snapshot.
+	if _, err := s.Publish(nil, "csv", 0); err != nil {
+		t.Fatal(err)
+	}
+	_, body = do(t, h, "GET", "/v1/snapshot", "")
+	if body["serial"].(float64) != 2 || body["source"] != "csv" {
+		t.Fatalf("second snapshot: %v", body)
+	}
+	if c := body["exposure"].(map[string]any)["coverage"].(float64); c != 0 {
+		t.Fatalf("coverage with no VRPs = %v, want 0", c)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := testService(t)
+	h := s.Handler()
+	for i := 0; i < 5; i++ {
+		do(t, h, "GET", "/healthz", "")
+	}
+	do(t, h, "POST", "/v1/validate", `{`) // one 400
+	_, body := do(t, h, "GET", "/metrics", "")
+	eps := body["endpoints"].(map[string]any)
+	hz := eps["healthz"].(map[string]any)
+	if hz["count"].(float64) != 5 {
+		t.Fatalf("healthz count = %v, want 5", hz["count"])
+	}
+	val := eps["validate"].(map[string]any)
+	if val["count"].(float64) != 1 || val["errors"].(float64) != 1 {
+		t.Fatalf("validate counters: %v", val)
+	}
+	lat := hz["latency_seconds"].(map[string]any)
+	if lat["count"].(float64) != 5 || lat["p99"] == nil {
+		t.Fatalf("latency summary: %v", lat)
+	}
+	if lat["min"].(float64) > lat["p50"].(float64) || lat["p50"].(float64) > lat["max"].(float64) {
+		t.Fatalf("latency quantiles unordered: %v", lat)
+	}
+}
+
+// TestDomainVerdictAgainstDirectValidation cross-checks the domain
+// endpoint against direct vrp validation of the same pairs.
+func TestDomainVerdictAgainstDirectValidation(t *testing.T) {
+	s := testService(t)
+	sn := s.Current()
+	checked := 0
+	for _, e := range testTable.ordered {
+		if !e.wwwResolved || len(e.www) == 0 {
+			continue
+		}
+		verdict, ok := sn.Domain(e.name)
+		if !ok {
+			t.Fatalf("domain %s missing", e.name)
+		}
+		valid := 0
+		for _, po := range e.www {
+			if sn.Index.Validate(po.Prefix, po.Origin) == vrp.Valid {
+				valid++
+			}
+		}
+		wantProtected := valid == len(e.www)
+		if verdict.WWW.Protected != wantProtected {
+			t.Fatalf("domain %s: Protected=%v, direct says %v", e.name, verdict.WWW.Protected, wantProtected)
+		}
+		checked++
+		if checked >= 200 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no resolvable domains cross-checked")
+	}
+}
+
+func jsonNum(v uint32) string { return strconv.FormatUint(uint64(v), 10) }

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/rtr"
+	"ripki/internal/sim"
+)
+
+// The update sources are the service's writers: each folds a stream of
+// VRP changes into fresh snapshots via Publish. They run in their own
+// goroutine; readers never see anything but complete snapshots.
+
+// RunRTR maintains a relying-party session against an RTR cache at
+// addr: full reset, then Serial Notify → incremental poll → publish,
+// exactly the loop a production RP (routinator feeding a router) runs.
+// The initial dial retries with backoff so the service may start before
+// its cache does. It blocks until ctx is cancelled (returning nil) or
+// the established session fails.
+func (s *Service) RunRTR(ctx context.Context, addr string) error {
+	client, err := dialRetry(ctx, addr)
+	if err != nil {
+		return s.sourceErr(ctx, err)
+	}
+	// Unblock the synchronous PDU reads when ctx ends.
+	stop := context.AfterFunc(ctx, func() { client.Close() })
+	defer stop()
+	defer client.Close()
+
+	if err := client.Reset(); err != nil {
+		return s.sourceErr(ctx, fmt.Errorf("serve: initial RTR sync: %w", err))
+	}
+	if _, err := s.PublishSet(client.Set(), "rtr", client.Serial()); err != nil {
+		return err
+	}
+	for {
+		if _, err := client.WaitNotify(); err != nil {
+			return s.sourceErr(ctx, fmt.Errorf("serve: RTR notify: %w", err))
+		}
+		if err := client.Poll(); err != nil {
+			return s.sourceErr(ctx, fmt.Errorf("serve: RTR poll: %w", err))
+		}
+		if _, err := s.PublishSet(client.Set(), "rtr", client.Serial()); err != nil {
+			return err
+		}
+	}
+}
+
+// dialRetry dials the cache, retrying with a capped backoff until ctx
+// ends — daemon and cache may race at startup.
+func dialRetry(ctx context.Context, addr string) (*rtr.Client, error) {
+	backoff := 100 * time.Millisecond
+	for {
+		client, err := rtr.Dial(addr)
+		if err == nil {
+			return client, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("serve: dialing RTR cache: %w", err)
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// sourceErr suppresses the connection error caused by our own
+// ctx-driven shutdown.
+func (s *Service) sourceErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+// RunSim drives an in-process scenario as the update source: one
+// virtual tick per wall-clock interval, publishing a snapshot whenever
+// the scenario changed the ground-truth VRP set. The scenario library
+// (roa-churn, hijack-window, trust-anchor-outage, ...) thus doubles as
+// a live traffic generator for the service. Returns nil when ctx ends
+// or the scenario horizon is reached.
+func (s *Service) RunSim(ctx context.Context, cfg sim.Config, interval time.Duration) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	sm, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer sm.Close()
+	publish := func() error {
+		_, err := s.PublishSet(sm.TruthSet(), "sim", uint32(sm.Tick()))
+		return err
+	}
+	last := sm.TruthSet()
+	if err := publish(); err != nil {
+		return err
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+		if !sm.Step() {
+			if err := sm.Err(); err != nil {
+				return fmt.Errorf("serve: sim source: %w", err)
+			}
+			return nil
+		}
+		// TruthSet is memoised between mutations, so pointer identity
+		// detects "this tick changed the VRPs" without a diff.
+		if set := sm.TruthSet(); set != last {
+			last = set
+			if err := publish(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// PublishVRPs is a convenience for static sources (a CSV export): it
+// publishes the given payloads under the named source.
+func (s *Service) PublishVRPs(vs []vrp.VRP, source string) (*Snapshot, error) {
+	return s.Publish(vs, source, 0)
+}

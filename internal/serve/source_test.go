@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ripki/internal/sim"
+)
+
+// TestRunSimPublishesScenarioChurn drives the service from an
+// in-process roa-churn scenario: the ground-truth VRP set changes over
+// virtual time and every change must surface as a new snapshot.
+func TestRunSimPublishesScenarioChurn(t *testing.T) {
+	w, dt := testSetup(t)
+	s := New(dt)
+	cfg := sim.Config{
+		Scenario:      "roa-churn",
+		Seed:          3,
+		Domains:       w.Cfg.Domains,
+		Tick:          10 * time.Second,
+		Duration:      3 * time.Minute, // 18 ticks, then the source returns
+		SampleEvery:   1 << 20,         // the probe is irrelevant here
+		SampleDomains: 50,
+		World:         w,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.RunSim(ctx, cfg, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Current()
+	if sn == nil {
+		t.Fatal("no snapshot published")
+	}
+	if sn.Source != "sim" {
+		t.Fatalf("source = %q, want sim", sn.Source)
+	}
+	// The initial publish plus at least one churn-driven republish.
+	if sn.Serial < 2 {
+		t.Fatalf("serial = %d; roa-churn should have driven republishes", sn.Serial)
+	}
+	if sn.SourceSerial == 0 {
+		t.Fatal("source serial (sim tick) not propagated")
+	}
+}

@@ -17,8 +17,10 @@ import (
 )
 
 // Summary is the five-number-plus-mean description of a sample:
-// count/min/max/mean and the 50th/95th percentiles. Sweeps fold each
-// simulated tick's cross-run values into one Summary per metric.
+// count/min/max/mean and the 50th/95th/99th percentiles. Sweeps fold
+// each simulated tick's cross-run values into one Summary per metric;
+// the serving layer and loadgen report request latencies in the same
+// shape (p99 is the tail number an SLO watches).
 type Summary struct {
 	Count int     `json:"count"`
 	Min   float64 `json:"min"`
@@ -26,6 +28,7 @@ type Summary struct {
 	Mean  float64 `json:"mean"`
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 }
 
 // Summarize describes a sample. NaN values are skipped — an empty
@@ -39,7 +42,7 @@ func Summarize(vs []float64) Summary {
 			finite = append(finite, v)
 		}
 	}
-	s := Summary{Count: len(finite), Min: math.NaN(), Max: math.NaN(), Mean: math.NaN(), P50: math.NaN(), P95: math.NaN()}
+	s := Summary{Count: len(finite), Min: math.NaN(), Max: math.NaN(), Mean: math.NaN(), P50: math.NaN(), P95: math.NaN(), P99: math.NaN()}
 	if len(finite) == 0 {
 		return s
 	}
@@ -53,6 +56,7 @@ func Summarize(vs []float64) Summary {
 	s.Mean = sum / float64(len(finite))
 	s.P50 = Percentile(finite, 50)
 	s.P95 = Percentile(finite, 95)
+	s.P99 = Percentile(finite, 99)
 	return s
 }
 
@@ -106,7 +110,8 @@ func (s Summary) MarshalJSON() ([]byte, error) {
 		Mean  JSONFloat `json:"mean"`
 		P50   JSONFloat `json:"p50"`
 		P95   JSONFloat `json:"p95"`
-	}{s.Count, JSONFloat(s.Min), JSONFloat(s.Max), JSONFloat(s.Mean), JSONFloat(s.P50), JSONFloat(s.P95)})
+		P99   JSONFloat `json:"p99"`
+	}{s.Count, JSONFloat(s.Min), JSONFloat(s.Max), JSONFloat(s.Mean), JSONFloat(s.P50), JSONFloat(s.P95), JSONFloat(s.P99)})
 }
 
 // Binner accumulates per-rank observations into fixed-width rank bins.

@@ -157,6 +157,10 @@ func TestSummarize(t *testing.T) {
 	if math.Abs(s.P95-4.8) > 1e-9 {
 		t.Errorf("P95 = %v, want 4.8", s.P95)
 	}
+	// p99 of [1..5]: pos = 0.99*4 = 3.96 → 4*(0.04) + 5*(0.96) = 4.96.
+	if math.Abs(s.P99-4.96) > 1e-9 {
+		t.Errorf("P99 = %v, want 4.96", s.P99)
+	}
 }
 
 func TestSummarizeSkipsNaN(t *testing.T) {
@@ -172,7 +176,7 @@ func TestSummarizeEmpty(t *testing.T) {
 		if s.Count != 0 {
 			t.Errorf("Count = %d for %v", s.Count, vs)
 		}
-		for name, v := range map[string]float64{"min": s.Min, "max": s.Max, "mean": s.Mean, "p50": s.P50, "p95": s.P95} {
+		for name, v := range map[string]float64{"min": s.Min, "max": s.Max, "mean": s.Mean, "p50": s.P50, "p95": s.P95, "p99": s.P99} {
 			if !math.IsNaN(v) {
 				t.Errorf("%s = %v for empty sample, want NaN", name, v)
 			}
@@ -182,7 +186,7 @@ func TestSummarizeEmpty(t *testing.T) {
 
 func TestSummarizeSingle(t *testing.T) {
 	s := Summarize([]float64{7})
-	if s.Count != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.P50 != 7 || s.P95 != 7 {
+	if s.Count != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.P50 != 7 || s.P95 != 7 || s.P99 != 7 {
 		t.Errorf("Summarize single = %+v", s)
 	}
 }
@@ -208,7 +212,7 @@ func TestSummaryMarshalJSONNaN(t *testing.T) {
 	if err != nil {
 		t.Fatalf("marshal empty summary: %v", err)
 	}
-	want := `{"count":0,"min":null,"max":null,"mean":null,"p50":null,"p95":null}`
+	want := `{"count":0,"min":null,"max":null,"mean":null,"p50":null,"p95":null,"p99":null}`
 	if string(b) != want {
 		t.Errorf("got %s, want %s", b, want)
 	}

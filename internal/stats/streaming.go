@@ -18,15 +18,16 @@ import (
 //   - Mean is Welford's incremental mean: exact up to floating-point
 //     association (differences vs the batch mean are at the last-ulp
 //     level, far below any rendered precision).
-//   - P50 and P95 are exact while the stream holds ≤ 25 finite values
-//     (p2BufferSize; the estimator stores and sorts them) — sweeps
-//     with up to 25 replicates per cell stream with *exact*
+//   - P50, P95 and P99 are exact while the stream holds ≤ 25 finite
+//     values (p2BufferSize; the estimator stores and sorts them) —
+//     sweeps with up to 25 replicates per cell stream with *exact*
 //     percentiles. Beyond that they are P² estimates (Jain & Chlamtac
 //     1985) whose markers were seeded from the 25-sample quantiles;
 //     the documented bound, property-tested against Summarize across
 //     uniform, Gaussian and exponential streams, is
-//     |estimate − exact| ≤ 0.15 × (max − min) for p50 and
-//     ≤ 0.20 × (max − min) for p95.
+//     |estimate − exact| ≤ 0.15 × (max − min) for p50,
+//     ≤ 0.20 × (max − min) for p95, and ≤ 0.25 × (max − min) for p99
+//     (the deeper the tail, the fewer observations inform it).
 //   - NaN observations are skipped, mirroring Summarize.
 //
 // The fold is deterministic: the same observation sequence produces the
@@ -40,14 +41,20 @@ type StreamingSummary struct {
 	mean  float64
 	p50   p2Quantile
 	p95   p2Quantile
+	p99   p2Quantile
 }
 
-// NewStreamingSummary returns an empty accumulator tracking the p50 and
-// p95 Summarize reports.
+// NewStreamingSummary returns an empty accumulator tracking the p50,
+// p95 and p99 Summarize reports.
 func NewStreamingSummary() *StreamingSummary {
 	return &StreamingSummary{
 		p50: p2Quantile{p: 0.50},
 		p95: p2Quantile{p: 0.95},
+		// The deeper the tail, the more exact-phase samples the P²
+		// markers need for a usable seed: a 25-sample buffer cannot
+		// place a p99 marker at all (0.99 × 24 rounds to the max), so
+		// p99 stays exact to 100 observations before estimating.
+		p99: p2Quantile{p: 0.99, size: 4 * p2BufferSize},
 	}
 }
 
@@ -72,6 +79,7 @@ func (s *StreamingSummary) Add(v float64) {
 	}
 	s.p50.add(v)
 	s.p95.add(v)
+	s.p99.add(v)
 }
 
 // Count returns the number of finite observations folded so far.
@@ -82,7 +90,7 @@ func (s *StreamingSummary) Count() int { return s.count }
 // Summarize of an all-NaN sample.
 func (s *StreamingSummary) Summary() Summary {
 	if s.count == 0 {
-		return Summary{Min: math.NaN(), Max: math.NaN(), Mean: math.NaN(), P50: math.NaN(), P95: math.NaN()}
+		return Summary{Min: math.NaN(), Max: math.NaN(), Mean: math.NaN(), P50: math.NaN(), P95: math.NaN(), P99: math.NaN()}
 	}
 	return Summary{
 		Count: s.count,
@@ -91,6 +99,7 @@ func (s *StreamingSummary) Summary() Summary {
 		Mean:  s.mean,
 		P50:   s.p50.estimate(),
 		P95:   s.p95.estimate(),
+		P99:   s.p99.estimate(),
 	}
 }
 
@@ -102,31 +111,42 @@ func (s *StreamingSummary) Summary() Summary {
 const p2BufferSize = 25
 
 // p2Quantile is a bounded-memory single-quantile estimator: an exact
-// buffer for the first p2BufferSize observations, then the P²
+// buffer for the first cap() observations, then the P²
 // (piecewise-parabolic) algorithm of Jain & Chlamtac — five markers
 // whose heights track the minimum, the quantile's neighbourhood, and
 // the maximum, adjusted towards ideal positions with parabolic
 // interpolation after every observation. Initialising the markers from
 // the full buffer (at their ideal positions in the sorted sample)
 // rather than from the classic first five observations sharpens the
-// tail quantiles considerably. O(1) space, ~p2BufferSize stored floats.
+// tail quantiles considerably. O(1) space, ~cap() stored floats.
 type p2Quantile struct {
-	p    float64   // target quantile in (0, 1)
+	p float64 // target quantile in (0, 1)
+	// size overrides the exact-phase capacity (0 means p2BufferSize);
+	// deep tail quantiles need a larger seed sample.
+	size int
 	n    int       // observations seen
-	buf  []float64 // exact phase: first p2BufferSize observations
+	buf  []float64 // exact phase: first cap() observations
 	q    [5]float64
 	pos  [5]float64 // actual marker positions (1-based)
 	want [5]float64 // desired marker positions
 }
 
+// cap returns the exact-phase capacity.
+func (e *p2Quantile) cap() int {
+	if e.size > 0 {
+		return e.size
+	}
+	return p2BufferSize
+}
+
 // add folds one observation into the estimator.
 func (e *p2Quantile) add(v float64) {
-	if e.n < p2BufferSize {
+	if e.n < e.cap() {
 		e.buf = append(e.buf, v)
 		e.n++
 		return
 	}
-	if e.n == p2BufferSize {
+	if e.n == e.cap() {
 		e.initMarkers()
 	}
 
@@ -231,7 +251,7 @@ func (e *p2Quantile) estimate() float64 {
 	if e.n == 0 {
 		return math.NaN()
 	}
-	if e.n <= p2BufferSize {
+	if e.n <= e.cap() {
 		buf := make([]float64, len(e.buf))
 		copy(buf, e.buf)
 		sort.Float64s(buf)

@@ -94,7 +94,7 @@ func TestStreamingMatchesSummarizeExactly(t *testing.T) {
 }
 
 // TestStreamingQuantilesSmallSamplesExact: while the stream fits the
-// exact-phase buffer (≤ 25 finite values) p50/p95 equal the exact
+// exact-phase buffer (≤ 25 finite values) p50/p95/p99 equal the exact
 // percentiles — a sweep cell with up to 25 replicates streams exactly.
 func TestStreamingQuantilesSmallSamplesExact(t *testing.T) {
 	rnd := rand.New(rand.NewSource(7))
@@ -110,13 +110,17 @@ func TestStreamingQuantilesSmallSamplesExact(t *testing.T) {
 				t.Fatalf("n=%d: p50/p95 %v/%v != exact %v/%v (vs=%v)",
 					n, got.P50, got.P95, exact.P50, exact.P95, vs)
 			}
+			if !closeRel(got.P99, exact.P99, 1e-12) {
+				t.Fatalf("n=%d: p99 %v != exact %v (vs=%v)", n, got.P99, exact.P99, vs)
+			}
 		}
 	}
 }
 
 // TestStreamingQuantilesWithinBounds property-tests the documented P²
 // error bounds against the exact sample quantiles on larger randomized
-// series: |p50 − exact| ≤ 0.15 × range, |p95 − exact| ≤ 0.20 × range.
+// series: |p50 − exact| ≤ 0.15 × range, |p95 − exact| ≤ 0.20 × range,
+// |p99 − exact| ≤ 0.25 × range.
 func TestStreamingQuantilesWithinBounds(t *testing.T) {
 	rnd := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 200; trial++ {
@@ -144,8 +148,13 @@ func TestStreamingQuantilesWithinBounds(t *testing.T) {
 			t.Fatalf("trial %d n=%d: p95 estimate %v vs exact %v (|Δ|=%v > 0.20×%v)",
 				trial, n, got.P95, exact.P95, d, span)
 		}
+		if d := math.Abs(got.P99 - exact.P99); d > 0.25*span+1e-12 {
+			t.Fatalf("trial %d n=%d: p99 estimate %v vs exact %v (|Δ|=%v > 0.25×%v)",
+				trial, n, got.P99, exact.P99, d, span)
+		}
 		// Estimates stay inside the observed range.
-		if got.P50 < exact.Min || got.P50 > exact.Max || got.P95 < exact.Min || got.P95 > exact.Max {
+		if got.P50 < exact.Min || got.P50 > exact.Max || got.P95 < exact.Min || got.P95 > exact.Max ||
+			got.P99 < exact.Min || got.P99 > exact.Max {
 			t.Fatalf("trial %d: quantile estimates escape [min, max]: %+v", trial, got)
 		}
 	}

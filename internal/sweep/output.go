@@ -62,16 +62,17 @@ func (r *Result) WriteTSV(w io.Writer) error {
 	}
 
 	fmt.Fprintln(bw, "# cell ticks")
-	fmt.Fprintln(bw, "cell\tscenario\ttick\tt\tmetric\tcount\tmin\tmean\tmax\tp50\tp95")
+	fmt.Fprintln(bw, "cell\tscenario\ttick\tt\tmetric\tcount\tmin\tmean\tmax\tp50\tp95\tp99")
 	for ci := range r.Cells {
 		cell := &r.Cells[ci]
 		for _, ta := range cell.Ticks {
 			for mi, name := range cell.Columns {
 				s := ta.Metrics[mi]
-				fmt.Fprintf(bw, "%d\t%s\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+				fmt.Fprintf(bw, "%d\t%s\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
 					cell.Index, cell.Scenario, sim.FormatValue(ta.Tick), sim.FormatValue(ta.T), name,
 					s.Count, sim.FormatValue(s.Min), sim.FormatValue(s.Mean),
-					sim.FormatValue(s.Max), sim.FormatValue(s.P50), sim.FormatValue(s.P95))
+					sim.FormatValue(s.Max), sim.FormatValue(s.P50), sim.FormatValue(s.P95),
+					sim.FormatValue(s.P99))
 			}
 		}
 	}

@@ -155,8 +155,8 @@ func TestStreamingMatchesExactAggregates(t *testing.T) {
 					t.Fatalf("cell %d tick %d %s: count/min/max %v vs %v",
 						ci, ti, e.Columns[mi], em, sm)
 				}
-				if !almostEq(em.Mean, sm.Mean) || !almostEq(em.P50, sm.P50) || !almostEq(em.P95, sm.P95) {
-					t.Fatalf("cell %d tick %d %s: mean/p50/p95 %v vs %v",
+				if !almostEq(em.Mean, sm.Mean) || !almostEq(em.P50, sm.P50) || !almostEq(em.P95, sm.P95) || !almostEq(em.P99, sm.P99) {
+					t.Fatalf("cell %d tick %d %s: mean/p50/p95/p99 %v vs %v",
 						ci, ti, e.Columns[mi], em, sm)
 				}
 			}

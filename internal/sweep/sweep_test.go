@@ -161,7 +161,7 @@ func TestAggregates(t *testing.T) {
 				if s.Count != 2 {
 					t.Fatalf("cell %d metric %s: count=%d, want 2", cell.Index, cell.Columns[mi], s.Count)
 				}
-				if s.Min > s.P50 || s.P50 > s.P95 || s.P95 > s.Max {
+				if s.Min > s.P50 || s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
 					t.Fatalf("metric %s: unordered summary %+v", cell.Columns[mi], s)
 				}
 			}

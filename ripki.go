@@ -44,6 +44,7 @@ import (
 	"ripki/internal/rpki/repo"
 	"ripki/internal/rpki/vrp"
 	"ripki/internal/rtr"
+	"ripki/internal/serve"
 	"ripki/internal/sim"
 	"ripki/internal/stats"
 	"ripki/internal/sweep"
@@ -309,11 +310,11 @@ type (
 	WorldSnapshot = webworld.Snapshot
 	// StreamingSummary is the online (O(1)-memory) counterpart of
 	// stats.Summarize: exact count/min/max/mean, exact p50/p95 up to 25
-	// values, P² estimates beyond. Streaming sweeps keep one per
-	// (cell, tick, metric).
+	// values (p99 up to 100), P² estimates beyond. Streaming sweeps keep
+	// one per (cell, tick, metric).
 	StreamingSummary = stats.StreamingSummary
-	// StatsSummary is the count/min/max/mean/p50/p95 description sweep
-	// aggregation folds each metric into.
+	// StatsSummary is the count/min/max/mean/p50/p95/p99 description
+	// sweep aggregation folds each metric into.
 	StatsSummary = stats.Summary
 )
 
@@ -329,3 +330,42 @@ func RunSweepPlan(p *SweepPlan, opt SweepOptions) (*SweepResult, error) { return
 // ParseSweepGrid reads a JSON grid file (durations as strings, unknown
 // fields rejected).
 func ParseSweepGrid(data []byte) (SweepGrid, error) { return sweep.ParseGrid(data) }
+
+// --- serving -----------------------------------------------------------
+
+// Re-exported serving types: the always-on origin-validation and
+// web-exposure query service (cmd/ripki-served, docs/serve.md).
+type (
+	// ServeService publishes immutable snapshots behind an atomic
+	// pointer and answers validation and exposure queries lock-free.
+	ServeService = serve.Service
+	// ServeSnapshot is one immutable, serial-stamped query state.
+	ServeSnapshot = serve.Snapshot
+	// ServeDomainTable is the VRP-independent domain→route exposure map.
+	ServeDomainTable = serve.DomainTable
+	// ServeRouteResult is one route's validation outcome with covering
+	// VRPs.
+	ServeRouteResult = serve.RouteResult
+	// ServeDomainVerdict is a per-domain exposure verdict (both name
+	// variants, strict-filtering reachability).
+	ServeDomainVerdict = serve.DomainVerdict
+	// VRPIndex is the immutable, lock-free counterpart of a VRP set.
+	VRPIndex = vrp.Index
+)
+
+// NewServeService builds a query service from a generated world: the
+// domain exposure table plus the world's own validated payloads as the
+// first snapshot. Wire it to HTTP via its Handler method, and to live
+// update sources via RunRTR / RunSim.
+func NewServeService(w *World) (*ServeService, error) { return serve.NewFromWorld(w) }
+
+// ServeStudy exposes a completed study as a query service: the study's
+// world backs the domain table and its validated VRPs the snapshot
+// (Study.VRPs is the world's own memoised validation, so this is
+// NewServeService of the study's world).
+func (s *Study) ServeStudy() (*ServeService, error) {
+	return serve.NewFromWorld(s.World)
+}
+
+// NewVRPIndex freezes VRPs into a lock-free query index.
+func NewVRPIndex(vs []VRP) (*VRPIndex, error) { return vrp.NewIndex(vs) }

@@ -92,3 +92,40 @@ func TestStudyValidateAndRTR(t *testing.T) {
 		t.Errorf("via RTR: Validate = %v", st)
 	}
 }
+
+func TestStudyServeService(t *testing.T) {
+	s, err := NewStudy(StudyConfig{Domains: 6000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := s.ServeStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := svc.Current()
+	if sn == nil || sn.Index.Len() != s.VRPs.Len() {
+		t.Fatalf("service snapshot does not match the study's VRPs: %+v", sn)
+	}
+	if sn.Domains.Len() != 6000 {
+		t.Fatalf("domain table has %d domains, want 6000", sn.Domains.Len())
+	}
+	// The snapshot's lock-free index agrees with the study's set.
+	v := s.VRPs.All()[0]
+	if res := sn.ValidateRoute(v.Prefix, v.ASN); res.State != "valid" {
+		t.Fatalf("ValidateRoute = %+v, want valid", res)
+	}
+	// Its aggregate exposure matches the study's measured coverage in
+	// direction: partially covered, far from fully covered.
+	if sn.Exposure.Coverage <= 0 || sn.Exposure.Coverage >= 0.5 {
+		t.Fatalf("exposure coverage = %v, want small but positive", sn.Exposure.Coverage)
+	}
+	// The domain endpoint agrees with the dataset for a measured domain.
+	name := s.World.List.Entries()[0].Domain
+	verdict, ok := sn.Domain(name)
+	if !ok {
+		t.Fatalf("domain %q missing from the service", name)
+	}
+	if verdict.Rank != 1 {
+		t.Fatalf("rank = %d, want 1", verdict.Rank)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ripki/internal/netutil"
+	"ripki/internal/rpki/vrp"
+	"ripki/internal/serve"
+)
+
+// TestLoadgenAgainstInProcessService drives the real client loop
+// against a real Service over HTTP and checks the report shape.
+func TestLoadgenAgainstInProcessService(t *testing.T) {
+	svc := serve.New(nil)
+	if _, err := svc.Publish([]vrp.VRP{
+		{Prefix: netutil.MustPrefix("10.0.0.0/16"), MaxLength: 24, ASN: 64500},
+	}, "test", 0); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL, "-concurrency", "2", "-duration", "200ms", "-batch", "4",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	report := out.String()
+	for _, want := range []string{"req/s", "routes/s", "0 errors", "p99="} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestLoadgenUsageAndFailure: flag errors are errFlagParse; a dead
+// server is a runtime error, not a hang.
+func TestLoadgenUsageAndFailure(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errBuf); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+	if err := run([]string{"-concurrency", "0"}, &out, &errBuf); !errors.Is(err, errFlagParse) {
+		t.Fatalf("bad concurrency: %v, want errFlagParse", err)
+	}
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-duration", "100ms"}, &out, &errBuf); err == nil {
+		t.Fatal("dead server accepted")
+	}
+}
