@@ -34,13 +34,14 @@ fmt-check:
 	fi
 
 # The gated benchmark set: the sweep engine (all execution modes), the
-# sim engine's hot tick loop, the serving layer's lock-free lookup path
-# at 1/4/8 goroutines, and the radix covering walk it rests on. Fixed
-# -benchtime keeps run time bounded; -count $(BENCH_COUNT) gives
-# benchgate best-of folding.
+# sim engine's hot tick loop (single and composed scenarios), the
+# serving layer's lock-free lookup path at 1/4/8 goroutines, and the
+# radix covering walk it rests on. Fixed -benchtime keeps run time
+# bounded; -count $(BENCH_COUNT) gives benchgate best-of folding.
 bench:
 	@$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 2x -benchmem -count $(BENCH_COUNT) ./internal/sweep
 	@$(GO) test -run '^$$' -bench 'BenchmarkSimTick$$' -benchtime 200x -benchmem -count $(BENCH_COUNT) .
+	@$(GO) test -run '^$$' -bench 'BenchmarkComposedSimTick$$' -benchtime 200x -benchmem -count $(BENCH_COUNT) .
 	@$(GO) test -run '^$$' -bench 'BenchmarkServeValidate$$' -benchtime 50000x -benchmem -count $(BENCH_COUNT) ./internal/serve
 	@$(GO) test -run '^$$' -bench 'BenchmarkCovering$$' -benchtime 200000x -benchmem -count $(BENCH_COUNT) ./internal/radix
 

@@ -349,6 +349,38 @@ func BenchmarkSimTick(b *testing.B) {
 	}
 }
 
+// BenchmarkComposedSimTick times the same hot loop under a composed
+// scenario: roa-churn's event stream plus rp-lag's validator staircase
+// (three RTR clients at 1/5/20-tick lag) in one world — the compound
+// workload the composition layer exists for, gated so composition
+// overhead in the tick path can never regress silently.
+func BenchmarkComposedSimTick(b *testing.B) {
+	tick := 10 * time.Second
+	s, err := NewSimulation(SimConfig{
+		Scenario:      "roa-churn+rp-lag",
+		Seed:          3,
+		Domains:       5000,
+		Tick:          tick,
+		Duration:      time.Duration(b.N+2) * tick,
+		SampleEvery:   1 << 20, // keep the probe out of the measured loop
+		SampleDomains: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Step() {
+			b.Fatal("simulation ended early")
+		}
+	}
+	b.StopTimer()
+	if err := s.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkRTRChurn times one full cache churn round trip: a real
 // Update (diff, delta, serial bump, notify) followed by two connected
 // routers completing an incremental sync over TCP.

@@ -6,6 +6,7 @@
 //	ripki-served -vrps world/vrps.csv                   # serve a CSV export
 //	ripki-served -rtr 127.0.0.1:8282                    # follow a live RTR cache
 //	ripki-served -scenario roa-churn -sim-interval 1s   # drive updates from a scenario
+//	ripki-served -scenario hijack-window+rp-lag         # replay a compound incident live
 //
 // Endpoints: POST/GET /v1/validate, GET /v1/domain/{name},
 // GET /v1/domains, GET /v1/snapshot, GET /healthz, GET /metrics.
@@ -77,7 +78,7 @@ func configure(args []string, stderr io.Writer) (*daemon, error) {
 		seed        = fs.Int64("seed", 1, "world generation seed")
 		vrpFile     = fs.String("vrps", "", "serve VRPs from a CSV export instead of the world's own RPKI state")
 		rtrAddr     = fs.String("rtr", "", "follow a live RTR cache at host:port (replaces the snapshot on every notify)")
-		scenario    = fs.String("scenario", "", "drive updates from a sim scenario; registered: "+strings.Join(sim.Names(), ", "))
+		scenario    = fs.String("scenario", "", `drive updates from a sim scenario or a "+"-joined composition ("hijack-window+rp-lag"); registered: `+strings.Join(sim.Names(), ", "))
 		simInterval = fs.Duration("sim-interval", time.Second, "wall-clock time per virtual scenario tick")
 		simTick     = fs.Duration("sim-tick", 30*time.Second, "virtual tick granularity of the scenario")
 		simDuration = fs.Duration("sim-duration", 30*time.Minute, "virtual horizon of the scenario")

@@ -90,3 +90,26 @@ func TestExitCodeConventions(t *testing.T) {
 		t.Fatal("missing VRP file accepted")
 	}
 }
+
+// TestConfigureComposedScenario: the -scenario flag accepts "+"-joined
+// compositions with routed per-component params, and rejects params
+// addressing a non-member component at configure time.
+func TestConfigureComposedScenario(t *testing.T) {
+	var stderr bytes.Buffer
+	d, err := configure([]string{
+		"-domains", "1500", "-scenario", "hijack-window+roa-churn",
+		"-param", "roa-churn.issue=2",
+	}, &stderr)
+	if err != nil {
+		t.Fatalf("configure: %v (stderr: %s)", err, stderr.String())
+	}
+	if len(d.sources) != 1 || !strings.Contains(d.banner, "scenario hijack-window+roa-churn") {
+		t.Fatalf("composed scenario source not wired: %d sources, banner %q", len(d.sources), d.banner)
+	}
+	if _, err := configure([]string{
+		"-domains", "1500", "-scenario", "hijack-window+roa-churn",
+		"-param", "rp-lag.slow_ticks=5",
+	}, &stderr); err == nil {
+		t.Fatal("param addressing a non-member component accepted")
+	}
+}

@@ -3,9 +3,13 @@
 // exposure, per relying-party cache state, and hijack success, tick by
 // tick. Same seed + flags ⇒ byte-identical output.
 //
+// Scenarios compose: "a+b" runs both event streams in one world, with
+// "-param a.key=value" routed to that component only.
+//
 //	ripki-sim -scenario hijack-window -seed 1
 //	ripki-sim -scenario rp-lag -param slow_ticks=30 -format json
 //	ripki-sim -scenario cdn-migration -param from=akamai -param to=internap
+//	ripki-sim -scenario hijack-window+rp-lag -param rp-lag.issue=5
 //	ripki-sim -list
 package main
 
@@ -42,8 +46,9 @@ func main() {
 		// The usage text enumerates the live registry, so it can never
 		// drift from the actual scenario library (ripki-sweep shares it).
 		scenario = flag.String("scenario", "hijack-window",
-			"scenario to run; registered: "+strings.Join(ripki.Scenarios(), ", "))
-		list          = flag.Bool("list", false, "list registered scenarios and exit")
+			`scenario to run, or a "+"-joined composition ("roa-churn+rp-lag") running every component's events in one world; registered: `+
+				strings.Join(ripki.Scenarios(), ", "))
+		list          = flag.Bool("list", false, "list registered scenarios and the composition syntax, then exit")
 		seed          = flag.Int64("seed", 1, "world + scenario seed")
 		domains       = flag.Int("domains", 20000, "size of the generated world")
 		tick          = flag.Duration("tick", 30*time.Second, "virtual clock granularity")
@@ -53,13 +58,15 @@ func main() {
 		format        = flag.String("format", "tsv", `output format: "tsv" or "json"`)
 		events        = flag.Bool("events", false, "narrate bus events to stderr while running")
 	)
-	flag.Var(params, "param", "scenario parameter key=value (repeatable)")
+	flag.Var(params, "param", `scenario parameter key=value (repeatable); in a composition, "component.key=value" targets one component`)
 	flag.Parse()
 
 	if *list {
 		for _, name := range ripki.Scenarios() {
 			fmt.Printf("%-20s %s\n", name, ripki.DescribeScenario(name))
 		}
+		fmt.Println("\ncompose with \"+\": any a+b[+c...] runs every component's event stream in one world")
+		fmt.Println("(per-component params: -param component.key=value; see docs/sim.md)")
 		return
 	}
 

@@ -5,11 +5,17 @@
 // seed ⇒ byte-identical output at ANY -workers value and either
 // -share-worlds setting.
 //
+// The scenario axis accepts compositions ("roa-churn+rp-lag" runs both
+// event streams in one world) and "-param component.key=..." routes a
+// param axis to one component; a routed axis must address a scenario
+// present in every cell (the plan fails loudly otherwise).
+//
 //	ripki-sweep -scenarios hijack-window,route-leak -replicates 4 -workers 8
 //	ripki-sweep -scenarios rp-lag -param slow_ticks=10,20,40 -format json
 //	ripki-sweep -grid grid.json -workers 4
 //	ripki-sweep -scenarios trust-anchor-outage -seeds 1,2,3 -domains 4000,8000
 //	ripki-sweep -scenarios roa-churn -replicates 64 -streaming
+//	ripki-sweep -scenarios hijack-window+rp-lag -param rp-lag.issue=2,4
 //
 // -share-worlds (on by default) generates each distinct (seed, domains)
 // world once and clones it per run instead of regenerating; it never
@@ -91,7 +97,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		scenarios = fs.String("scenarios", "baseline",
-			"comma-separated scenario axis; registered: "+strings.Join(ripki.Scenarios(), ", "))
+			`comma-separated scenario axis; "+"-joined compositions allowed ("roa-churn+rp-lag"); registered: `+
+				strings.Join(ripki.Scenarios(), ", "))
 		gridPath      = fs.String("grid", "", "JSON grid file (overrides the axis flags)")
 		masterSeed    = fs.Int64("master-seed", 1, "master seed for per-replicate seed derivation")
 		replicates    = fs.Int("replicates", 3, "seeds derived per grid cell")
@@ -107,7 +114,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		format        = fs.String("format", "tsv", `output format: "tsv" or "json"`)
 		quiet         = fs.Bool("quiet", false, "suppress all progress output on stderr")
 	)
-	fs.Var(params, "param", "scenario parameter axis key=value[,value...] (repeatable, crossed)")
+	fs.Var(params, "param", `scenario parameter axis key=value[,value...] (repeatable, crossed); "component.key=..." targets one component of a composition`)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h is a successful exit, not an error

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/netip"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -81,6 +82,37 @@ func (s *Service) current(w http.ResponseWriter) *Snapshot {
 		writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
 	}
 	return sn
+}
+
+// snapshotETag renders a snapshot's serial as a strong entity tag.
+// Snapshots are immutable and the serial is strictly increasing, so the
+// serial IS the entity version for every snapshot-derived resource.
+func snapshotETag(sn *Snapshot) string {
+	return `"` + strconv.FormatUint(sn.Serial, 10) + `"`
+}
+
+// conditional stamps the response with the snapshot's ETag and, when
+// the request's If-None-Match names that tag (or "*"), answers 304 and
+// reports true — the caller must not write a body. Pollers chasing
+// snapshot churn thus pay a header round trip, not a full re-render.
+func conditional(w http.ResponseWriter, r *http.Request, sn *Snapshot) bool {
+	etag := snapshotETag(sn)
+	w.Header().Set("ETag", etag)
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, cand := range strings.Split(inm, ",") {
+		cand = strings.TrimSpace(cand)
+		// Weak validators compare by opaque tag: serial equality is
+		// exact, so weak and strong comparison coincide here.
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return true
+		}
+	}
+	return false
 }
 
 // routeSpec is one route in a validate request.
@@ -188,11 +220,18 @@ func (s *Service) handleDomain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
-	verdict, ok := sn.Domain(name)
-	if !ok {
+	if _, ok := sn.Domains.lookup(name); !ok {
 		writeError(w, http.StatusNotFound, "domain %q not in the measured population", name)
 		return
 	}
+	// A verdict is a pure function of (snapshot, name), so the snapshot
+	// serial versions this resource too. Answer the conditional before
+	// computing the verdict — a 304 skips the whole per-route
+	// validation, not just the rendering.
+	if conditional(w, r, sn) {
+		return
+	}
+	verdict, _ := sn.Domain(name)
 	writeJSON(w, http.StatusOK, verdict)
 }
 
@@ -241,6 +280,9 @@ type exposureJSON struct {
 func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	sn := s.current(w)
 	if sn == nil {
+		return
+	}
+	if conditional(w, r, sn) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snapshotInfo{

@@ -303,3 +303,78 @@ func TestDomainVerdictAgainstDirectValidation(t *testing.T) {
 }
 
 func jsonNum(v uint32) string { return strconv.FormatUint(uint64(v), 10) }
+
+// rawGet performs one request with optional If-None-Match, without the
+// JSON-decoding helper (a 304 has no body to decode).
+func rawGet(t testing.TB, h http.Handler, target, ifNoneMatch string) *httptest.ResponseRecorder {
+	t.Helper()
+	r := httptest.NewRequest("GET", target, nil)
+	if ifNoneMatch != "" {
+		r.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	return rec
+}
+
+// TestETagConditionalRequests: /v1/snapshot and /v1/domain/{name} carry
+// the snapshot serial as a strong ETag; If-None-Match answers 304 with
+// no body until a new snapshot is published.
+func TestETagConditionalRequests(t *testing.T) {
+	w, dt := testSetup(t)
+	s := New(dt)
+	if _, err := s.PublishSet(w.Validation().VRPs, "world", 0); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	name := dt.Listing(1)[0].Name
+
+	for _, target := range []string{"/v1/snapshot", "/v1/domain/" + name} {
+		rec := rawGet(t, h, target, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d", target, rec.Code)
+		}
+		etag := rec.Header().Get("ETag")
+		if etag != `"1"` {
+			t.Fatalf("%s: ETag = %q, want %q", target, etag, `"1"`)
+		}
+
+		// Matching tag (strong, weak, list, wildcard): 304, empty body,
+		// ETag still present for the caller's cache bookkeeping.
+		for _, inm := range []string{etag, "W/" + etag, `"0", ` + etag, "*"} {
+			rec = rawGet(t, h, target, inm)
+			if rec.Code != http.StatusNotModified {
+				t.Errorf("%s If-None-Match %q: code %d, want 304", target, inm, rec.Code)
+			}
+			if rec.Body.Len() != 0 {
+				t.Errorf("%s: 304 carried a body: %s", target, rec.Body.String())
+			}
+			if rec.Header().Get("ETag") != etag {
+				t.Errorf("%s: 304 lost the ETag header", target)
+			}
+		}
+
+		// A stale tag re-renders.
+		if rec = rawGet(t, h, target, `"0"`); rec.Code != http.StatusOK {
+			t.Errorf("%s stale tag: code %d, want 200", target, rec.Code)
+		}
+	}
+
+	// Publishing invalidates: the old tag no longer matches and the new
+	// response carries the bumped serial.
+	if _, err := s.Publish(nil, "csv", 0); err != nil {
+		t.Fatal(err)
+	}
+	rec := rawGet(t, h, "/v1/snapshot", `"1"`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stale tag after publish: code %d, want 200", rec.Code)
+	}
+	if etag := rec.Header().Get("ETag"); etag != `"2"` {
+		t.Fatalf("ETag after publish = %q, want %q", etag, `"2"`)
+	}
+	// 404s carry no ETag — there is no entity to version.
+	rec = rawGet(t, h, "/v1/domain/not-a-domain.example", "")
+	if rec.Code != http.StatusNotFound || rec.Header().Get("ETag") != "" {
+		t.Fatalf("missing domain: code %d etag %q", rec.Code, rec.Header().Get("ETag"))
+	}
+}

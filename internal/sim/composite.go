@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Scenario composition. A spec like "roa-churn+rp-lag" runs every named
+// scenario's event stream in ONE world, against one clock, one RTR
+// cache, and one relying-party roster — the compound incidents the
+// paper's tragedy is actually made of (a hijack window opening while
+// relying parties are lagging behind churn, a trust-anchor outage
+// during a CDN migration, ...).
+//
+// The composition contract, in full:
+//
+//   - Canonical order. Components run in sorted-name order regardless
+//     of how the spec spells them: "rp-lag+roa-churn" and
+//     "roa-churn+rp-lag" are the same composition, byte for byte. A
+//     composite's Name() is the canonical spec. Duplicate components
+//     ("roa-churn+roa-churn") keep their relative order and are told
+//     apart by occurrence index.
+//
+//   - Independent randomness. Each component draws from its own
+//     splitmix64-derived RNG sub-stream keyed by (master seed,
+//     component name, occurrence) — see ComponentSeed. Single-scenario
+//     runs use the identical derivation, so a component behaves byte-
+//     identically whether it runs alone or composed: composing with
+//     "baseline" is a proven no-op, and adding a component never
+//     perturbs another's randomness.
+//
+//   - Per-component parameters. A Params key "name.key" is routed to
+//     the named component as "key" ("roa-churn.issue=5"); an undotted
+//     key is shared — every component sees it. A dotted key whose
+//     prefix names no component is an error, so typos fail loudly.
+//     The rule is uniform: NewScenario routes a single scenario's
+//     params as a one-component composition, so a routed key means the
+//     same thing whether its target runs alone or composed. Duplicate
+//     components share their routed parameters.
+//
+//   - Relying-party roster merge. Components are asked for DefaultRPs
+//     in canonical order and the rosters are merged by RP name: the
+//     first component to name an RP fixes its spec (refresh cadence and
+//     policy), later components append only RPs with new names. An
+//     explicit Config.RPs still overrides everything.
+
+// specSeparator joins component names in a composition spec.
+const specSeparator = "+"
+
+// component is one member of a composition: a registered scenario plus
+// its identity within the composite (canonical position is the slice
+// index; occ tells duplicates of the same name apart).
+type component struct {
+	name   string
+	occ    int
+	params Params
+	scn    Scenario
+}
+
+// Composite runs several registered scenarios' event streams in one
+// world. Build one with NewScenario and a "+"-joined spec; it satisfies
+// Scenario and RPDefaulter like any single scenario.
+type Composite struct {
+	spec  string // canonical: sorted component names, "+"-joined
+	comps []component
+}
+
+// IsComposition reports whether the spec names a composition rather
+// than a single registered scenario.
+func IsComposition(spec string) bool { return strings.Contains(spec, specSeparator) }
+
+// ParseSpec splits a scenario spec into its component names, in
+// canonical (sorted) order. Single names come back as a one-element
+// slice; empty components ("a++b", "a+") are rejected. The names are
+// not checked against the registry — NewScenario does that.
+func ParseSpec(spec string) ([]string, error) {
+	parts := strings.Split(spec, specSeparator)
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("sim: empty component in scenario spec %q", spec)
+		}
+		parts[i] = p
+	}
+	sort.Stable(sort.StringSlice(parts))
+	return parts, nil
+}
+
+// newComposite builds the (possibly one-component) composition named by
+// spec, routing params to components and validating every component
+// against the registry.
+func newComposite(spec string, p Params) (*Composite, error) {
+	names, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	routed, err := routeParams(names, p)
+	if err != nil {
+		return nil, err
+	}
+	c := &Composite{spec: strings.Join(names, specSeparator)}
+	occ := map[string]int{}
+	for i, name := range names {
+		f, ok := scenarios[name]
+		if !ok {
+			if len(names) == 1 {
+				return nil, fmt.Errorf("sim: unknown scenario %q (have %v)", name, Names())
+			}
+			return nil, fmt.Errorf("sim: unknown scenario %q in composition %q (have %v)", name, spec, Names())
+		}
+		c.comps = append(c.comps, component{
+			name:   name,
+			occ:    occ[name],
+			params: routed[i],
+			scn:    f(routed[i]),
+		})
+		occ[name]++
+	}
+	return c, nil
+}
+
+// routeParams splits a composite's Params across its components:
+// "name.key" goes to every component called name (as "key"), undotted
+// keys go to all. A dotted key addressing no component is an error.
+// Undotted keys are applied first and dotted keys second, so when both
+// spellings set the same key ("issue=3 roa-churn.issue=5") the routed
+// one deterministically wins for its component — never map iteration
+// order.
+func routeParams(names []string, p Params) ([]Params, error) {
+	routed := make([]Params, len(names))
+	for i := range routed {
+		routed[i] = Params{}
+	}
+	for k, v := range p {
+		if !strings.Contains(k, ".") {
+			for i := range routed {
+				routed[i][k] = v
+			}
+		}
+	}
+	for k, v := range p {
+		head, rest, dotted := strings.Cut(k, ".")
+		if !dotted {
+			continue
+		}
+		matched := false
+		for i, name := range names {
+			if name == head {
+				routed[i][rest] = v
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("sim: param %q addresses component %q, not among the run's scenarios %v", k, head, names)
+		}
+	}
+	return routed, nil
+}
+
+// Name returns the canonical spec.
+func (c *Composite) Name() string { return c.spec }
+
+// Components lists the component names in canonical order.
+func (c *Composite) Components() []string {
+	out := make([]string, len(c.comps))
+	for i, comp := range c.comps {
+		out[i] = comp.name
+	}
+	return out
+}
+
+// Description joins the component descriptions.
+func (c *Composite) Description() string {
+	return "composition: " + strings.Join(c.Components(), " + ") + " event streams in one world"
+}
+
+// Setup runs every component's Setup in canonical order, repointing
+// s.Rand at the component's own derived stream first. Components that
+// draw randomness at event time capture s.Rand during Setup (see the
+// Scenario docs), so each component's events keep drawing from its own
+// stream for the whole run.
+func (c *Composite) Setup(s *Simulation) error {
+	for _, comp := range c.comps {
+		s.Rand = rand.New(rand.NewSource(ComponentSeed(s.Cfg.Seed, comp.name, comp.occ)))
+		if err := comp.scn.Setup(s); err != nil {
+			return fmt.Errorf("component %s: %w", comp.name, err)
+		}
+	}
+	return nil
+}
+
+// DefaultRPs merges the component rosters: components are consulted in
+// canonical order, the first to name an RP fixes its spec, and later
+// components append only new names. Nil when no component has a roster
+// (the engine then falls back to the builtin DefaultRPs). Each
+// component sees the params routed at construction; the argument exists
+// for the RPDefaulter interface.
+func (c *Composite) DefaultRPs(Params) []RPSpec {
+	var merged []RPSpec
+	seen := map[string]bool{}
+	for _, comp := range c.comps {
+		d, ok := comp.scn.(RPDefaulter)
+		if !ok {
+			continue
+		}
+		for _, spec := range d.DefaultRPs(comp.params) {
+			if seen[spec.Name] {
+				continue
+			}
+			seen[spec.Name] = true
+			merged = append(merged, spec)
+		}
+	}
+	return merged
+}
+
+// ComponentSeed derives a scenario component's RNG stream seed: the
+// master seed mixed with an FNV-1a hash of the component name and the
+// occurrence index through a splitmix64 finaliser. Keyed by name, not
+// by position in the spec, so a component's stream is identical whether
+// it runs alone or inside any composition — and two occurrences of the
+// same component get distinct streams.
+func ComponentSeed(master int64, name string, occ int) int64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+		golden    = 0x9e3779b97f4a7c15
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	z := uint64(master) ^ h
+	z += uint64(occ+1) * golden
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

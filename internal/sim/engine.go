@@ -59,7 +59,11 @@ type Hijack struct {
 type Simulation struct {
 	Cfg   Config
 	World *webworld.World
-	// Rand is the scenario randomness source (seeded; deterministic).
+	// Rand is the scenario randomness source: during a scenario's Setup
+	// it is that component's own splitmix64-derived stream (see
+	// ComponentSeed), identical whether the scenario runs alone or
+	// composed. Scenarios whose events draw randomness after Setup must
+	// capture it in a local during Setup.
 	Rand   *rand.Rand
 	Queue  *Queue
 	Bus    *Bus
@@ -144,7 +148,9 @@ func New(cfg Config) (*Simulation, error) {
 	s.Server.Logf = func(string, ...any) {} // connection teardown noise
 	go s.Server.Serve(ln)
 
-	// Relying parties.
+	// Relying parties. NewScenario always builds a Composite, whose
+	// DefaultRPs hands each component the params routed at construction
+	// and merges the rosters by RP name.
 	specs := cfg.RPs
 	if specs == nil {
 		if d, ok := scenario.(RPDefaulter); ok {
@@ -197,8 +203,11 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, fmt.Errorf("sim: seeding routers: %w", feedErr)
 	}
 
+	// Runs are labelled by the canonical spec (components in sorted-name
+	// order; a single scenario's spec is its name), so "rp-lag+roa-churn"
+	// and "roa-churn+rp-lag" produce byte-identical output.
 	s.Series = &TimeSeries{
-		Scenario: cfg.Scenario,
+		Scenario: scenario.Name(),
 		Seed:     cfg.Seed,
 		Meta: fmt.Sprintf("domains=%d tick=%s duration=%s sample_every=%d sample_domains=%d",
 			cfg.Domains, cfg.Tick, cfg.Duration, cfg.SampleEvery, cfg.SampleDomains),
@@ -220,6 +229,9 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	s.recur(s.start, time.Duration(cfg.SampleEvery)*cfg.Tick, classProbe, s.probe)
 
+	// Setup is always Composite.Setup, which repoints Rand at each
+	// component's derived stream in turn — single scenarios included, so
+	// a component behaves identically alone or composed.
 	if err := scenario.Setup(s); err != nil {
 		s.Close()
 		return nil, fmt.Errorf("sim: scenario %s setup: %w", cfg.Scenario, err)

@@ -97,7 +97,10 @@ func (c *roaChurn) Setup(s *Simulation) error {
 			candidates = append(candidates, churnCandidate{prefix: p, origin: origin})
 		}
 	}
-	perm := s.Rand.Perm(len(candidates))
+	// Capture the component stream: the revoke draws happen at event
+	// time, after a composite may have repointed s.Rand elsewhere.
+	rng := s.Rand
+	perm := rng.Perm(len(candidates))
 	next := 0
 	var issued []vrp.VRP
 	s.EveryTick(every, func() {
@@ -109,7 +112,7 @@ func (c *roaChurn) Setup(s *Simulation) error {
 			issued = append(issued, v)
 		}
 		for i := 0; i < revoke && len(issued) > 1; i++ {
-			j := s.Rand.Intn(len(issued))
+			j := rng.Intn(len(issued))
 			v := issued[j]
 			issued[j] = issued[len(issued)-1]
 			issued = issued[:len(issued)-1]

@@ -32,7 +32,6 @@
 package sim
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 	"time"
@@ -99,6 +98,12 @@ func (p Params) Bool(key string, def bool) bool {
 // world, cache, and relying parties exist but before the clock starts;
 // it schedules the scenario's events (which may schedule further
 // events).
+//
+// During Setup, s.Rand is the scenario's own splitmix64-derived stream
+// (see ComponentSeed) — the same stream whether the scenario runs alone
+// or as a component of a Composite. A Setup whose scheduled events draw
+// randomness later must capture s.Rand in a local while it runs, since
+// a composite repoints s.Rand at each component's stream in turn.
 type Scenario interface {
 	// Name is the registry key.
 	Name() string
@@ -129,7 +134,9 @@ type RPSpec struct {
 
 // Config parameterises a simulation run.
 type Config struct {
-	// Scenario names a registered scenario.
+	// Scenario names a registered scenario, or a "+"-joined composition
+	// of registered scenarios ("roa-churn+rp-lag") whose event streams
+	// all run in this one world (see Composite).
 	Scenario string
 	// Params are free-form scenario parameters.
 	Params Params
@@ -212,20 +219,31 @@ func Names() []string {
 	return out
 }
 
-// NewScenario instantiates a registered scenario.
+// NewScenario instantiates the scenario named by a spec: a registered
+// name, or a "+"-joined composition like "roa-churn+rp-lag" running
+// every component's event stream in one world. Every spec — single or
+// composed — comes back as a *Composite, because a single scenario IS a
+// one-component composition: the same param routing ("roa-churn.issue=5"
+// reaches a bare roa-churn run; a dotted key addressing any other name
+// errors rather than being silently dropped), the same RNG stream
+// derivation, the same roster handling. See Composite for the contract.
 func NewScenario(name string, p Params) (Scenario, error) {
-	f, ok := scenarios[name]
-	if !ok {
-		return nil, fmt.Errorf("sim: unknown scenario %q (have %v)", name, Names())
-	}
 	if p == nil {
 		p = Params{}
 	}
-	return f(p), nil
+	return newComposite(name, p)
 }
 
-// Describe returns the one-line description of a registered scenario.
+// Describe returns the one-line description of a registered scenario or
+// of a composition spec, "" when unknown.
 func Describe(name string) string {
+	if IsComposition(name) {
+		sc, err := NewScenario(name, nil)
+		if err != nil {
+			return ""
+		}
+		return sc.Description()
+	}
 	f, ok := scenarios[name]
 	if !ok {
 		return ""

@@ -12,6 +12,12 @@
 // differing only in seed) into per-tick min/mean/max/p50/p95 summaries
 // and per-relying-party hijack-success rates.
 //
+// The scenario axis accepts compositions: a grid point like
+// "roa-churn+rp-lag" runs both components' event streams in one world
+// (see sim.Composite), and a param axis keyed "roa-churn.issue" is
+// routed to that component only — so compound incidents sweep exactly
+// like single scenarios, in every execution mode.
+//
 // Determinism is the contract PR 1 established, lifted to fleets: the
 // same Grid and master seed produce byte-identical WriteTSV/WriteJSON
 // output at ANY worker count. Three ingredients make that true — every
@@ -34,7 +40,9 @@ import (
 // sim fills with its own defaults), so the zero Grid is one baseline
 // run.
 type Grid struct {
-	// Scenarios is the scenario axis (default: baseline).
+	// Scenarios is the scenario axis (default: baseline). Each entry is
+	// a registered scenario or a "+"-joined composition spec
+	// ("roa-churn+rp-lag").
 	Scenarios []string `json:"scenarios,omitempty"`
 	// MasterSeed drives per-replicate seed derivation.
 	MasterSeed int64 `json:"master_seed,omitempty"`
@@ -53,7 +61,9 @@ type Grid struct {
 	SampleDomains []int           `json:"sample_domains,omitempty"`
 	// Params crosses free-form scenario parameters: each key is an axis,
 	// its values the points ("hijack_frac": ["0.1", "0.3"]). Keys are
-	// iterated in sorted order, so expansion is deterministic.
+	// iterated in sorted order, so expansion is deterministic. A dotted
+	// key ("roa-churn.issue") targets one component of a composed
+	// scenario; composed cells reject keys addressing a non-member.
 	Params map[string][]string `json:"params,omitempty"`
 }
 
@@ -114,11 +124,6 @@ func axis[T any](vs []T, fallback T) []T {
 // scenario name against the sim registry.
 func (g Grid) Plan() (*Plan, error) {
 	scenarios := axis(g.Scenarios, "baseline")
-	for _, name := range scenarios {
-		if _, err := sim.NewScenario(name, nil); err != nil {
-			return nil, fmt.Errorf("sweep: %w", err)
-		}
-	}
 	seeds := g.Seeds
 	if len(seeds) == 0 {
 		reps := g.Replicates
@@ -166,6 +171,14 @@ func (g Grid) Plan() (*Plan, error) {
 					}
 				}
 			}
+		}
+	}
+	// Validate every cell's (scenario, params) pair — unknown scenario
+	// names, malformed composition specs, and mis-routed dotted param
+	// axes all fail at plan time, not as per-run errors in the pool.
+	for i := range p.Cells {
+		if _, err := sim.NewScenario(p.Cells[i].Scenario, p.Cells[i].Config.Params); err != nil {
+			return nil, fmt.Errorf("sweep: cell %d (%s): %w", i, p.Cells[i].Label, err)
 		}
 	}
 	return p, nil

@@ -262,6 +262,11 @@ type (
 	// Scenario seeds a simulation with events; implement and Register
 	// to add one.
 	Scenario = sim.Scenario
+	// SimComposite runs several registered scenarios' event streams in
+	// one world — built from a "+"-joined spec like "roa-churn+rp-lag",
+	// with per-component params ("roa-churn.issue=5"), per-component
+	// splitmix64 RNG streams, and a by-name relying-party roster merge.
+	SimComposite = sim.Composite
 	// TimeSeries is the per-tick simulation output.
 	TimeSeries = sim.TimeSeries
 )
@@ -276,11 +281,30 @@ func RunSimScenario(cfg SimConfig) (*TimeSeries, error) { return sim.RunScenario
 // Scenarios lists the registered scenario names.
 func Scenarios() []string { return sim.Names() }
 
-// DescribeScenario returns a registered scenario's one-line description.
+// DescribeScenario returns a registered scenario's (or composition
+// spec's) one-line description.
 func DescribeScenario(name string) string { return sim.Describe(name) }
 
 // RegisterScenario adds a scenario to the registry under its name.
 func RegisterScenario(name string, f func(SimParams) Scenario) { sim.Register(name, f) }
+
+// NewScenario instantiates the scenario named by a spec — a registered
+// name or a "+"-joined composition ("roa-churn+rp-lag"). Every spec
+// comes back as a SimComposite; a single scenario is a one-component
+// composition.
+func NewScenario(spec string, p SimParams) (Scenario, error) { return sim.NewScenario(spec, p) }
+
+// ScenarioComponents splits a scenario spec into its component names in
+// canonical (sorted) order; single names come back as one element.
+func ScenarioComponents(spec string) ([]string, error) { return sim.ParseSpec(spec) }
+
+// SimComponentSeed derives a scenario component's RNG stream seed from
+// the master seed, the component name, and its occurrence index — the
+// derivation that makes a component's randomness identical whether it
+// runs alone or inside any composition.
+func SimComponentSeed(master int64, name string, occurrence int) int64 {
+	return sim.ComponentSeed(master, name, occurrence)
+}
 
 // --- sweeps ------------------------------------------------------------
 
