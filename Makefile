@@ -35,8 +35,9 @@ fmt-check:
 
 # The gated benchmark set: the sweep engine (all execution modes), the
 # sim engine's hot tick loop (single and composed scenarios), the
-# serving layer's lock-free lookup path at 1/4/8 goroutines, and the
-# radix covering walk it rests on. Fixed -benchtime keeps run time
+# serving layer's lock-free lookup path at 1/4/8 goroutines, the radix
+# covering walk it rests on, and the distributed coordinator's
+# decode-and-assemble merge path. Fixed -benchtime keeps run time
 # bounded; -count $(BENCH_COUNT) gives benchgate best-of folding.
 bench:
 	@$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 2x -benchmem -count $(BENCH_COUNT) ./internal/sweep
@@ -44,6 +45,7 @@ bench:
 	@$(GO) test -run '^$$' -bench 'BenchmarkComposedSimTick$$' -benchtime 200x -benchmem -count $(BENCH_COUNT) .
 	@$(GO) test -run '^$$' -bench 'BenchmarkServeValidate$$' -benchtime 50000x -benchmem -count $(BENCH_COUNT) ./internal/serve
 	@$(GO) test -run '^$$' -bench 'BenchmarkCovering$$' -benchtime 200000x -benchmem -count $(BENCH_COUNT) ./internal/radix
+	@$(GO) test -run '^$$' -bench 'BenchmarkDistMerge$$' -benchtime 20x -benchmem -count $(BENCH_COUNT) ./internal/distsweep
 
 bench-baseline:
 	@$(MAKE) --no-print-directory bench | $(GO) run ./tools/benchgate -write $(BENCH_FILE)

@@ -25,16 +25,35 @@
 // buffer (25 replicates for p50/p95, 100 for p99; see
 // docs/sweep.md) and its output is marked mode=streaming — still
 // byte-identical at any worker count.
+//
+// Distributed mode shards one grid across processes or machines while
+// keeping the output byte-identical to a single-process run
+// (docs/sweep.md, "Distributed sweeps"):
+//
+//	ripki-sweep -coordinate :9200 -scenarios roa-churn -replicates 8 -checkpoint ckpt/
+//	ripki-sweep -worker host:9200 -workers 8          # on each machine
+//	ripki-sweep -coordinate :9200 -scenarios roa-churn -replicates 8 -resume ckpt/
+//
+// The coordinator expands the grid, leases contiguous cell ranges to
+// workers, journals each completed cell durably (-checkpoint), and
+// writes the assembled output exactly like a local run. Workers take
+// their grid and mode from the coordinator, so a worker accepts only
+// -workers, -share-worlds and -quiet. -resume re-leases only cells the
+// journal doesn't already hold. Ctrl-C cancels in-flight simulations
+// in every mode.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ripki"
@@ -78,7 +97,9 @@ func (p paramAxes) Set(s string) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, errFlagParse) {
 			os.Exit(2) // usage error, the flag package's convention
 		}
@@ -90,8 +111,8 @@ func main() {
 // run is the whole command, testable: every byte it emits goes to the
 // writers it is handed. The -quiet contract is enforced here — with
 // -quiet set, NOTHING is written to stderr on a successful sweep, in
-// every path (flag axes, grid file, both formats).
-func run(args []string, stdout, stderr io.Writer) error {
+// every path (flag axes, grid file, both formats, all three modes).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	params := paramAxes{}
 	fs := flag.NewFlagSet("ripki-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -113,6 +134,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		streaming     = fs.Bool("streaming", false, "fold runs into online accumulators (memory bounded by the grid; p50/p95 estimated past 25 replicates, p99 past 100)")
 		format        = fs.String("format", "tsv", `output format: "tsv" or "json"`)
 		quiet         = fs.Bool("quiet", false, "suppress all progress output on stderr")
+		coordinate    = fs.String("coordinate", "", `run as distributed-sweep coordinator listening on this address (e.g. ":9200")`)
+		workerAddr    = fs.String("worker", "", "run as distributed-sweep worker for the coordinator at this address")
+		checkpoint    = fs.String("checkpoint", "", "coordinator: journal each completed cell to this directory (one fsynced record per cell)")
+		resume        = fs.String("resume", "", "coordinator: resume from this checkpoint directory, re-leasing only unfinished cells (implies -checkpoint)")
+		leaseTimeout  = fs.Duration("lease-timeout", 0, "coordinator: re-lease a silent cell range after this long (default 2m)")
+		leaseCells    = fs.Int("lease-cells", 0, "coordinator: max cells per lease (default cells/16, min 1)")
 	)
 	fs.Var(params, "param", `scenario parameter axis key=value[,value...] (repeatable, crossed); "component.key=..." targets one component of a composition`)
 	if err := fs.Parse(args); err != nil {
@@ -120,6 +147,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return nil // -h is a successful exit, not an error
 		}
 		return errFlagParse // already reported by the FlagSet
+	}
+
+	if *coordinate != "" && *workerAddr != "" {
+		return errors.New("-coordinate and -worker are mutually exclusive")
+	}
+	if *workerAddr != "" {
+		// A worker's grid, mode and output all come from the coordinator:
+		// any flag that shapes them locally is a misunderstanding worth
+		// stopping on, not silently ignoring.
+		allowed := map[string]bool{"worker": true, "workers": true, "share-worlds": true, "quiet": true}
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return fmt.Errorf("%s: worker mode takes its grid and mode from the coordinator; only -workers, -share-worlds and -quiet apply", strings.Join(bad, ", "))
+		}
+		cfg := ripki.DistWorkerConfig{
+			Options: ripki.SweepOptions{Workers: *workers, ShareWorlds: *shareWorlds},
+		}
+		if !*quiet {
+			cfg.Logf = func(f string, a ...any) { fmt.Fprintf(stderr, "ripki-sweep worker: "+f+"\n", a...) }
+		}
+		return ripki.DistWork(ctx, *workerAddr, cfg)
+	}
+	if *coordinate == "" {
+		for name, val := range map[string]string{"-checkpoint": *checkpoint, "-resume": *resume} {
+			if val != "" {
+				return fmt.Errorf("%s requires -coordinate", name)
+			}
+		}
+		if *leaseTimeout != 0 || *leaseCells != 0 {
+			return errors.New("-lease-timeout and -lease-cells require -coordinate")
+		}
 	}
 
 	var grid ripki.SweepGrid
@@ -163,29 +226,62 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	// Expand once; the header and the pool share the same plan.
-	plan, err := grid.Plan()
-	if err != nil {
-		return err
+	mode := "exact"
+	if *streaming {
+		mode = "streaming"
 	}
-	opt := ripki.SweepOptions{Workers: *workers, ShareWorlds: *shareWorlds, Streaming: *streaming}
-	if !*quiet {
-		// The header and per-run progress share the -quiet gate: -quiet
-		// means a successful sweep writes stderr nothing at all.
-		mode := "exact"
-		if *streaming {
-			mode = "streaming"
+
+	var res *ripki.SweepResult
+	if *coordinate != "" {
+		dir := *checkpoint
+		if *resume != "" {
+			if dir != "" && dir != *resume {
+				return errors.New("-checkpoint and -resume must name the same directory")
+			}
+			dir = *resume
 		}
-		fmt.Fprintf(stderr, "ripki-sweep: %d cells × %d seeds = %d runs (workers=%d share-worlds=%v mode=%s)\n",
-			len(plan.Cells), len(plan.Seeds), len(plan.Specs), *workers, *shareWorlds, mode)
-		start := time.Now()
-		opt.Progress = func(done, total int, rr *ripki.SweepRunResult) {
-			fmt.Fprintf(stderr, "ripki-sweep: [%3d/%d] %s (%.1fs)\n", done, total, rr, time.Since(start).Seconds())
+		cfg := ripki.DistCoordinatorConfig{
+			Grid:          grid,
+			Streaming:     *streaming,
+			LeaseTimeout:  *leaseTimeout,
+			LeaseCells:    *leaseCells,
+			CheckpointDir: dir,
 		}
-	}
-	res, err := ripki.RunSweepPlan(plan, opt)
-	if err != nil {
-		return err
+		if !*quiet {
+			cfg.Logf = func(f string, a ...any) { fmt.Fprintf(stderr, "ripki-sweep coordinator: "+f+"\n", a...) }
+		}
+		coord, err := ripki.NewDistCoordinator(*coordinate, cfg)
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			plan := coord.Plan()
+			fmt.Fprintf(stderr, "ripki-sweep coordinator: listening on %s: %d cells × %d seeds = %d runs (mode=%s)\n",
+				coord.Addr(), len(plan.Cells), len(plan.Seeds), len(plan.Specs), mode)
+		}
+		if res, err = coord.Run(ctx); err != nil {
+			return err
+		}
+	} else {
+		// Expand once; the header and the pool share the same plan.
+		plan, err := grid.Plan()
+		if err != nil {
+			return err
+		}
+		opt := ripki.SweepOptions{Workers: *workers, ShareWorlds: *shareWorlds, Streaming: *streaming}
+		if !*quiet {
+			// The header and per-run progress share the -quiet gate: -quiet
+			// means a successful sweep writes stderr nothing at all.
+			fmt.Fprintf(stderr, "ripki-sweep: %d cells × %d seeds = %d runs (workers=%d share-worlds=%v mode=%s)\n",
+				len(plan.Cells), len(plan.Seeds), len(plan.Specs), *workers, *shareWorlds, mode)
+			start := time.Now()
+			opt.Progress = func(done, total int, rr *ripki.SweepRunResult) {
+				fmt.Fprintf(stderr, "ripki-sweep: [%3d/%d] %s (%.1fs)\n", done, total, rr, time.Since(start).Seconds())
+			}
+		}
+		if res, err = ripki.RunSweepPlan(ctx, plan, opt); err != nil {
+			return err
+		}
 	}
 
 	switch *format {

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 var fastArgs = []string{
@@ -38,7 +41,7 @@ func TestQuietIsFullyQuiet(t *testing.T) {
 	for name, args := range cases {
 		t.Run(name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
-			if err := run(args, &stdout, &stderr); err != nil {
+			if err := run(context.Background(), args, &stdout, &stderr); err != nil {
 				t.Fatal(err)
 			}
 			if stderr.Len() != 0 {
@@ -55,7 +58,7 @@ func TestQuietIsFullyQuiet(t *testing.T) {
 // stderr, never on stdout — when -quiet is absent.
 func TestHeaderOnStderrWithoutQuiet(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run(fastArgs, &stdout, &stderr); err != nil {
+	if err := run(context.Background(), fastArgs, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(stderr.String(), "1 cells × 1 seeds = 1 runs") {
@@ -74,10 +77,10 @@ func TestHeaderOnStderrWithoutQuiet(t *testing.T) {
 // exact ones.
 func TestStreamingMarksOutput(t *testing.T) {
 	var exact, streamed bytes.Buffer
-	if err := run(append(append([]string{}, fastArgs...), "-quiet"), &exact, &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), append(append([]string{}, fastArgs...), "-quiet"), &exact, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append(append([]string{}, fastArgs...), "-quiet", "-streaming"), &streamed, &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), append(append([]string{}, fastArgs...), "-quiet", "-streaming"), &streamed, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(firstLine(exact.String()), "mode=streaming") {
@@ -92,14 +95,14 @@ func TestStreamingMarksOutput(t *testing.T) {
 // error) and an unknown flag reports exactly once.
 func TestHelpAndBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-h"}, &stdout, &stderr); err != nil {
+	if err := run(context.Background(), []string{"-h"}, &stdout, &stderr); err != nil {
 		t.Errorf("-h returned error: %v", err)
 	}
 	if !strings.Contains(stderr.String(), "-share-worlds") {
 		t.Error("usage missing from -h output")
 	}
 	stderr.Reset()
-	err := run([]string{"-no-such-flag"}, &stdout, &stderr)
+	err := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr)
 	if err == nil {
 		t.Fatal("unknown flag accepted")
 	}
@@ -108,6 +111,132 @@ func TestHelpAndBadFlags(t *testing.T) {
 	}
 	if !errors.Is(err, errFlagParse) {
 		t.Errorf("parse failure not marked pre-reported: %v", err)
+	}
+}
+
+// TestDistributedFlagValidation: the mode flags police each other — a
+// worker's grid comes from the coordinator, so grid-shaping flags are
+// refused, and the coordinator-only flags demand -coordinate.
+func TestDistributedFlagValidation(t *testing.T) {
+	cases := map[string]struct {
+		args []string
+		want string
+	}{
+		"both-modes":         {[]string{"-coordinate", ":0", "-worker", "x:1"}, "mutually exclusive"},
+		"worker-grid-flag":   {[]string{"-worker", "x:1", "-scenarios", "baseline"}, "-scenarios"},
+		"worker-format-flag": {[]string{"-worker", "x:1", "-format", "json"}, "-format"},
+		"worker-streaming":   {[]string{"-worker", "x:1", "-streaming"}, "-streaming"},
+		"stray-checkpoint":   {[]string{"-checkpoint", "d"}, "requires -coordinate"},
+		"stray-resume":       {[]string{"-resume", "d"}, "requires -coordinate"},
+		"stray-lease-timeout": {
+			append(append([]string{}, fastArgs...), "-lease-timeout", "1m"), "require -coordinate"},
+		"stray-lease-cells": {
+			append(append([]string{}, fastArgs...), "-lease-cells", "2"), "require -coordinate"},
+		"split-journal": {[]string{"-coordinate", ":0", "-checkpoint", "a", "-resume", "b"}, "same directory"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(context.Background(), tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// syncBuffer lets the round-trip test poll a goroutine's stderr for the
+// coordinator's "listening on" line without racing the writer.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDistributedCLIRoundTrip drives the real command in both modes —
+// a coordinator with a checkpoint journal and one worker, wired over
+// loopback — and demands the coordinator's stdout be byte-identical to
+// the same grid run locally. This is the end-to-end CLI counterpart of
+// the package-level determinism tests in internal/distsweep.
+func TestDistributedCLIRoundTrip(t *testing.T) {
+	gridArgs := []string{
+		"-scenarios", "baseline,rp-lag", "-replicates", "2",
+		"-domains", "800", "-tick", "30s", "-duration", "2m",
+		"-sample-every", "4", "-sample-domains", "50",
+	}
+	var reference bytes.Buffer
+	if err := run(context.Background(), append(append([]string{}, gridArgs...), "-quiet"), &reference, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+	coordArgs := append(append([]string{}, gridArgs...),
+		"-coordinate", "127.0.0.1:0", "-checkpoint", ckpt, "-lease-cells", "1")
+	var coordOut bytes.Buffer
+	coordErr := &syncBuffer{}
+	coordDone := make(chan error, 1)
+	go func() {
+		coordDone <- run(context.Background(), coordArgs, &coordOut, coordErr)
+	}()
+
+	// The header names the bound address; poll for it.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never announced its address: %q", coordErr.String())
+		}
+		for _, line := range strings.Split(coordErr.String(), "\n") {
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				addr = strings.Fields(rest)[0]
+				addr = strings.TrimSuffix(addr, ":")
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var workerOut, workerErr bytes.Buffer
+	if err := run(context.Background(), []string{"-worker", addr, "-quiet"}, &workerOut, &workerErr); err != nil {
+		t.Fatalf("worker: %v (stderr %q)", err, workerErr.String())
+	}
+	if workerOut.Len() != 0 {
+		t.Errorf("worker wrote to stdout: %q", workerOut.String())
+	}
+	if err := <-coordDone; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if !bytes.Equal(coordOut.Bytes(), reference.Bytes()) {
+		t.Error("distributed CLI output differs from local run")
+	}
+
+	// -checkpoint journalled every cell durably.
+	entries, err := os.ReadDir(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records int
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "cell-") && strings.HasSuffix(e.Name(), ".json") {
+			records++
+		}
+	}
+	if records != 2 {
+		t.Errorf("journal holds %d cell records, want 2", records)
 	}
 }
 

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -51,7 +52,7 @@ func main() {
 	// Streaming folds each run into online accumulators as it finishes,
 	// so even a replicates=10000 version of this grid would hold only
 	// per-cell state, never 10000 series.
-	res, err := ripki.RunSweep(grid, ripki.SweepOptions{
+	res, err := ripki.RunSweep(context.Background(), grid, ripki.SweepOptions{
 		ShareWorlds: true,
 		Streaming:   true,
 		Progress: func(done, total int, rr *ripki.SweepRunResult) {

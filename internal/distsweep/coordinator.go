@@ -1,0 +1,326 @@
+package distsweep
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ripki/internal/sweep"
+)
+
+// DefaultLeaseTimeout is how long a leased cell range may stay silent
+// before the coordinator hands it to someone else. Generous relative to
+// typical cell runtimes: an expired-but-alive worker only wastes work
+// (its late partial is deterministic and still accepted), it can never
+// corrupt output.
+const DefaultLeaseTimeout = 2 * time.Minute
+
+// CoordinatorConfig configures a distributed sweep's coordinator side.
+type CoordinatorConfig struct {
+	// Grid is the sweep to shard; the coordinator expands it once and
+	// ships it (not the expansion) to every worker.
+	Grid sweep.Grid
+	// Streaming selects the execution mode for every worker; the
+	// assembled output is marked exactly like a local -streaming run.
+	Streaming bool
+	// LeaseTimeout bounds how long an unacknowledged lease blocks its
+	// cells (default DefaultLeaseTimeout).
+	LeaseTimeout time.Duration
+	// LeaseCells is the max cells per lease (default: cells/16, min 1).
+	// Bigger leases amortise world generation across a worker's cells;
+	// smaller ones spread better and lose less to a kill.
+	LeaseCells int
+	// CheckpointDir, when set, journals every completed cell durably
+	// (one fsynced record each) and — if matching records already exist
+	// there — resumes, leasing only the unfinished cells.
+	CheckpointDir string
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator owns a sweep being sharded across workers: the listener,
+// the lease table, the checkpoint journal, and the arriving partials.
+type Coordinator struct {
+	cfg      CoordinatorConfig
+	plan     *sweep.Plan
+	hash     string
+	gridWire []byte
+	ln       net.Listener
+	leases   *leaseTable
+	journal  *journal // nil when not checkpointing
+
+	mu       sync.Mutex
+	partials map[int]sweep.CellPartial
+}
+
+// NewCoordinator expands the grid, binds addr (use ":0" or
+// "127.0.0.1:0" to let the kernel pick a port — Addr reports it), and
+// loads any matching checkpoint records so already-finished cells are
+// never re-leased.
+func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
+	plan, err := cfg.Grid.Plan()
+	if err != nil {
+		return nil, err
+	}
+	gridWire, err := sweep.MarshalGrid(cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if cfg.LeaseCells <= 0 {
+		cfg.LeaseCells = len(plan.Cells) / 16
+		if cfg.LeaseCells < 1 {
+			cfg.LeaseCells = 1
+		}
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		plan:     plan,
+		hash:     plan.Hash(),
+		gridWire: gridWire,
+		leases:   newLeaseTable(len(plan.Cells), cfg.LeaseTimeout, cfg.LeaseCells),
+		partials: make(map[int]sweep.CellPartial),
+	}
+	if cfg.CheckpointDir != "" {
+		j, err := openJournal(cfg.CheckpointDir, c.hash, cfg.Streaming)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		resumed, err := j.load()
+		if err != nil {
+			return nil, err
+		}
+		for cell, p := range resumed {
+			if cell < 0 || cell >= len(plan.Cells) {
+				return nil, fmt.Errorf("distsweep: checkpoint names cell %d outside the plan's %d cells", cell, len(plan.Cells))
+			}
+			c.partials[cell] = p
+			c.leases.markDone(cell)
+		}
+		if len(resumed) > 0 {
+			c.logf("resumed %d/%d cells from %s", len(resumed), len(plan.Cells), cfg.CheckpointDir)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c.ln = ln
+	return c, nil
+}
+
+// Plan returns the coordinator's expansion (for progress headers).
+func (c *Coordinator) Plan() *sweep.Plan { return c.plan }
+
+// Addr is the bound listen address, for workers and tests.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Run serves workers until every cell has a partial, then assembles and
+// returns the Result — byte-identical, through WriteTSV/WriteJSON, to
+// running the same grid and mode in one process. Cancelling ctx stops
+// serving and returns ctx's error; completed cells stay in the journal
+// for a later resume.
+func (c *Coordinator) Run(ctx context.Context) (*sweep.Result, error) {
+	done := make(chan struct{})   // all cells complete
+	closed := make(chan struct{}) // shutdown ordered
+	var finishOnce sync.Once
+	finish := func() { finishOnce.Do(func() { close(done) }) }
+	if c.leases.remaining() == 0 {
+		finish() // fully resumed from checkpoint: nothing to serve
+	}
+	var wg sync.WaitGroup
+
+	// Ticker: surface lease expiry to blocked next() calls.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := c.cfg.LeaseTimeout / 4
+		if tick > time.Second {
+			tick = time.Second
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-closed:
+				return
+			case <-t.C:
+				c.leases.poke()
+			}
+		}
+	}()
+
+	// Accept loop.
+	var conns sync.Map // net.Conn → struct{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := c.ln.Accept()
+			if err != nil {
+				return // listener closed: shutdown
+			}
+			conns.Store(conn, struct{}{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conns.Delete(conn)
+				c.serve(conn, finish)
+			}()
+		}
+	}()
+
+	var runErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		runErr = ctx.Err()
+	}
+	close(closed)
+	c.leases.close()
+	c.ln.Close()
+	if runErr != nil {
+		// Cancelled: tear connections down at once.
+		conns.Range(func(k, _ any) bool { k.(net.Conn).Close(); return true })
+	} else {
+		// Completed: drain, don't slam. Every connected worker still has a
+		// final ack or a done frame coming; give each conversation a
+		// bounded window to finish so workers exit cleanly, then close
+		// whatever is left (a worker that never speaks again).
+		deadline := time.Now().Add(2 * time.Second)
+		conns.Range(func(k, _ any) bool { k.(net.Conn).SetDeadline(deadline); return true })
+	}
+	wg.Wait()
+	conns.Range(func(k, _ any) bool { k.(net.Conn).Close(); return true })
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	c.mu.Lock()
+	ordered := make([]sweep.CellPartial, 0, len(c.partials))
+	for ci := range c.plan.Cells {
+		if p, ok := c.partials[ci]; ok {
+			ordered = append(ordered, p)
+		}
+	}
+	c.mu.Unlock()
+	return sweep.AssembleResult(c.plan, c.cfg.Streaming, ordered)
+}
+
+// serve speaks the protocol with one worker connection until it
+// disconnects or the sweep finishes. Any leases the worker still holds
+// on exit return to pending immediately.
+func (c *Coordinator) serve(conn net.Conn, finish func()) {
+	worker := conn.RemoteAddr().String()
+	defer conn.Close()
+	defer func() {
+		if n := c.leases.release(worker); n > 0 {
+			c.logf("worker %s disconnected; re-leasing %d cells", worker, n)
+		}
+	}()
+
+	br := bufio.NewReader(conn)
+	hello, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	if hello.Type != frameHello {
+		refuse(conn, "expected hello, got %s", hello.Type)
+		return
+	}
+	if hello.Version != protocolVersion {
+		refuse(conn, "protocol version %d, coordinator speaks %d — rebuild the older side", hello.Version, protocolVersion)
+		c.logf("worker %s refused: protocol version %d != %d", worker, hello.Version, protocolVersion)
+		return
+	}
+	if err := writeFrame(conn, &frame{
+		Type: frameHello, Version: protocolVersion,
+		Grid: c.gridWire, Streaming: c.cfg.Streaming, PlanHash: c.hash,
+	}); err != nil {
+		return
+	}
+	c.logf("worker %s connected", worker)
+
+	for {
+		req, err := readFrame(br)
+		if err != nil {
+			return // disconnect; deferred release repairs the leases
+		}
+		switch req.Type {
+		case frameLease:
+			first, count, ok := c.leases.next(worker)
+			if !ok {
+				_ = writeFrame(conn, &frame{Type: frameDone})
+				return
+			}
+			c.logf("leased cells [%d,%d) to %s", first, first+count, worker)
+			if err := writeFrame(conn, &frame{Type: frameLease, First: first, Count: count}); err != nil {
+				return
+			}
+		case framePartial:
+			if req.Partial == nil || req.Partial.Cell != req.Cell {
+				refuse(conn, "partial frame for cell %d is malformed", req.Cell)
+				return
+			}
+			allDone, err := c.accept(req.Partial, worker)
+			if err != nil {
+				refuse(conn, "%v", err)
+				c.logf("rejecting partial for cell %d from %s: %v", req.Cell, worker, err)
+				return
+			}
+			if err := writeFrame(conn, &frame{Type: frameAck, Cell: req.Cell}); err != nil {
+				return
+			}
+			if allDone {
+				finish()
+			}
+		default:
+			refuse(conn, "unexpected %s frame", req.Type)
+			return
+		}
+	}
+}
+
+// accept stores (and journals) one arriving partial, reporting whether
+// it completed the whole sweep (the caller acks first, then signals
+// completion, so the delivering worker always gets its ack). First
+// writer wins; a duplicate from an expired-but-alive lease is
+// deterministic and is simply acknowledged again. The journal write
+// happens before the cell is marked done, so an ack is only ever sent
+// for a durable record.
+func (c *Coordinator) accept(p *sweep.CellPartial, worker string) (allDone bool, err error) {
+	if p.Cell < 0 || p.Cell >= len(c.plan.Cells) {
+		return false, fmt.Errorf("cell %d outside the plan's %d cells", p.Cell, len(c.plan.Cells))
+	}
+	c.mu.Lock()
+	_, have := c.partials[p.Cell]
+	c.mu.Unlock()
+	if have {
+		return false, nil
+	}
+	if c.journal != nil {
+		if err := c.journal.write(p); err != nil {
+			return false, err
+		}
+	}
+	c.mu.Lock()
+	c.partials[p.Cell] = *p
+	c.mu.Unlock()
+	newlyDone, allDone := c.leases.complete(p.Cell)
+	if newlyDone {
+		c.logf("cell %d done (%d/%d) from %s", p.Cell, len(c.plan.Cells)-c.leases.remaining(), len(c.plan.Cells), worker)
+	}
+	return allDone, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

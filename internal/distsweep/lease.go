@@ -1,0 +1,182 @@
+package distsweep
+
+import (
+	"sync"
+	"time"
+)
+
+// cellState tracks one grid cell through the lease lifecycle.
+type cellState int
+
+const (
+	cellPending cellState = iota // waiting for a worker
+	cellLeased                   // assigned, result outstanding
+	cellDone                     // partial received (and journaled)
+)
+
+// leaseTable hands out contiguous ranges of pending cells and takes
+// them back when a worker dies: a lease that is neither completed nor
+// renewed within the timeout returns to pending, so a killed worker
+// only ever *delays* its cells. Completion is per cell — a lease whose
+// worker already delivered some of its range gives back only the rest.
+//
+// The table is deliberately ignorant of sockets; the coordinator maps
+// connections to the opaque worker keys used here.
+type leaseTable struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	timeout time.Duration
+	chunk   int // max cells per lease
+
+	state   []cellState
+	worker  []string    // holder of each leased cell
+	expires []time.Time // per leased cell
+	left    int         // cells not yet done
+	closed  bool        // coordinator shutting down
+}
+
+func newLeaseTable(cells int, timeout time.Duration, chunk int) *leaseTable {
+	if chunk < 1 {
+		chunk = 1
+	}
+	lt := &leaseTable{
+		timeout: timeout,
+		chunk:   chunk,
+		state:   make([]cellState, cells),
+		worker:  make([]string, cells),
+		expires: make([]time.Time, cells),
+		left:    cells,
+	}
+	lt.cond = sync.NewCond(&lt.mu)
+	return lt
+}
+
+// markDone pre-completes a cell (checkpoint resume) before any worker
+// connects.
+func (lt *leaseTable) markDone(cell int) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.state[cell] != cellDone {
+		lt.state[cell] = cellDone
+		lt.left--
+	}
+}
+
+// next blocks until it can grant the worker a contiguous pending range
+// (returning first, count, false) or the sweep is finished or shutting
+// down (returning ok=false). Expired leases are reaped on every pass,
+// so a dead worker's range reappears here without any dedicated timer —
+// the coordinator's ticker just broadcasts the condition periodically.
+func (lt *leaseTable) next(worker string) (first, count int, ok bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for {
+		if lt.left == 0 || lt.closed {
+			return 0, 0, false
+		}
+		lt.reapLocked(time.Now())
+		if first, count := lt.grabLocked(worker); count > 0 {
+			return first, count, true
+		}
+		lt.cond.Wait()
+	}
+}
+
+// grabLocked finds the first contiguous run of pending cells, up to
+// chunk long, and leases it.
+func (lt *leaseTable) grabLocked(worker string) (first, count int) {
+	i := 0
+	for i < len(lt.state) && lt.state[i] != cellPending {
+		i++
+	}
+	if i == len(lt.state) {
+		return 0, 0
+	}
+	first = i
+	deadline := time.Now().Add(lt.timeout)
+	for i < len(lt.state) && lt.state[i] == cellPending && count < lt.chunk {
+		lt.state[i] = cellLeased
+		lt.worker[i] = worker
+		lt.expires[i] = deadline
+		i++
+		count++
+	}
+	return first, count
+}
+
+// reapLocked returns expired leases to pending.
+func (lt *leaseTable) reapLocked(now time.Time) {
+	woke := false
+	for i, st := range lt.state {
+		if st == cellLeased && now.After(lt.expires[i]) {
+			lt.state[i] = cellPending
+			lt.worker[i] = ""
+			woke = true
+		}
+	}
+	if woke {
+		lt.cond.Broadcast()
+	}
+}
+
+// complete marks a cell done no matter who holds its lease: partials
+// are deterministic, so a late delivery from an expired lease is as
+// good as the re-leased one. It reports whether the cell was newly
+// completed (the caller journals and stores only then) and whether the
+// whole sweep just finished.
+func (lt *leaseTable) complete(cell int) (newlyDone, allDone bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.state[cell] != cellDone {
+		lt.state[cell] = cellDone
+		lt.worker[cell] = ""
+		lt.left--
+		newlyDone = true
+	}
+	if lt.left == 0 {
+		lt.cond.Broadcast()
+	}
+	return newlyDone, lt.left == 0
+}
+
+// release returns every cell the worker still holds to pending — called
+// when its connection drops, so a crash is repaired at once instead of
+// waiting out the lease timeout.
+func (lt *leaseTable) release(worker string) (released int) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for i, st := range lt.state {
+		if st == cellLeased && lt.worker[i] == worker {
+			lt.state[i] = cellPending
+			lt.worker[i] = ""
+			released++
+		}
+	}
+	if released > 0 {
+		lt.cond.Broadcast()
+	}
+	return released
+}
+
+// poke re-evaluates every blocked next() — the coordinator ticks this
+// so lease expiry is noticed even when no other event fires.
+func (lt *leaseTable) poke() {
+	lt.mu.Lock()
+	lt.cond.Broadcast()
+	lt.mu.Unlock()
+}
+
+// close unblocks every waiter with ok=false (coordinator shutdown).
+func (lt *leaseTable) close() {
+	lt.mu.Lock()
+	lt.closed = true
+	lt.cond.Broadcast()
+	lt.mu.Unlock()
+}
+
+// remaining reports cells not yet done.
+func (lt *leaseTable) remaining() int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.left
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -616,10 +617,24 @@ func sortVRPs(vs []vrp.VRP) {
 // RunScenario is the one-call entry point: build, run, close, return the
 // series.
 func RunScenario(cfg Config) (*TimeSeries, error) {
+	return RunScenarioContext(context.Background(), cfg)
+}
+
+// RunScenarioContext is RunScenario under a context: cancellation is
+// checked between ticks, so an in-flight simulation stops within one
+// tick of ctx ending (Ctrl-C in a sweep, a dropped distributed-sweep
+// coordinator) instead of running to its horizon. A cancelled run
+// returns ctx's error and no series.
+func RunScenarioContext(ctx context.Context, cfg Config) (*TimeSeries, error) {
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer s.Close()
-	return s.Run()
+	for s.Step() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return s.Series, s.err
 }

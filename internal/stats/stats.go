@@ -100,18 +100,49 @@ func (f JSONFloat) MarshalJSON() ([]byte, error) {
 	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
 }
 
+// UnmarshalJSON inverts MarshalJSON: null decodes to NaN, numbers to
+// themselves — so a serialised summary round-trips exactly, which the
+// distributed-sweep merge depends on for byte-identical output.
+func (f *JSONFloat) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = JSONFloat(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+// summaryJSON is Summary with null-safe floats, shared by both
+// marshalling directions so NaN round-trips as null and back.
+type summaryJSON struct {
+	Count int       `json:"count"`
+	Min   JSONFloat `json:"min"`
+	Max   JSONFloat `json:"max"`
+	Mean  JSONFloat `json:"mean"`
+	P50   JSONFloat `json:"p50"`
+	P95   JSONFloat `json:"p95"`
+	P99   JSONFloat `json:"p99"`
+}
+
 // MarshalJSON renders non-finite statistics as null, so an empty cell
 // cannot fail a whole sweep export.
 func (s Summary) MarshalJSON() ([]byte, error) {
-	return json.Marshal(struct {
-		Count int       `json:"count"`
-		Min   JSONFloat `json:"min"`
-		Max   JSONFloat `json:"max"`
-		Mean  JSONFloat `json:"mean"`
-		P50   JSONFloat `json:"p50"`
-		P95   JSONFloat `json:"p95"`
-		P99   JSONFloat `json:"p99"`
-	}{s.Count, JSONFloat(s.Min), JSONFloat(s.Max), JSONFloat(s.Mean), JSONFloat(s.P50), JSONFloat(s.P95), JSONFloat(s.P99)})
+	return json.Marshal(summaryJSON{s.Count, JSONFloat(s.Min), JSONFloat(s.Max), JSONFloat(s.Mean), JSONFloat(s.P50), JSONFloat(s.P95), JSONFloat(s.P99)})
+}
+
+// UnmarshalJSON restores a Summary, decoding null statistics back to
+// NaN — the exact inverse of MarshalJSON, float for float.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var sj summaryJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return err
+	}
+	*s = Summary{sj.Count, float64(sj.Min), float64(sj.Max), float64(sj.Mean), float64(sj.P50), float64(sj.P95), float64(sj.P99)}
+	return nil
 }
 
 // Binner accumulates per-rank observations into fixed-width rank bins.

@@ -54,23 +54,31 @@ func aggregate(plan *Plan, runs []RunResult) []Cell {
 	}
 	cells := make([]Cell, len(plan.Cells))
 	for ci, info := range plan.Cells {
-		cell := Cell{CellInfo: info}
-		var ok []*RunResult
-		for _, rr := range byCell[ci] {
-			if rr.Err != "" || rr.Series == nil {
-				cell.Errors++
-				continue
-			}
-			ok = append(ok, rr)
-		}
-		cell.Runs = len(ok)
-		if len(ok) > 0 {
-			aggregateTicks(&cell, ok)
-			aggregateHijacks(&cell, ok)
-		}
-		cells[ci] = cell
+		cells[ci] = aggregateCell(info, byCell[ci])
 	}
 	return cells
+}
+
+// aggregateCell folds one cell's run results (series attached, in
+// replicate order) into its aggregate. Shared by the whole-plan
+// aggregate above and the distributed worker, which aggregates only its
+// leased cells before shipping them.
+func aggregateCell(info CellInfo, runs []*RunResult) Cell {
+	cell := Cell{CellInfo: info}
+	var ok []*RunResult
+	for _, rr := range runs {
+		if rr.Err != "" || rr.Series == nil {
+			cell.Errors++
+			continue
+		}
+		ok = append(ok, rr)
+	}
+	cell.Runs = len(ok)
+	if len(ok) > 0 {
+		aggregateTicks(&cell, ok)
+		aggregateHijacks(&cell, ok)
+	}
+	return cell
 }
 
 // aggregateTicks summarises every non-key column at every sampled tick

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 )
@@ -28,7 +29,7 @@ func composedGrid() Grid {
 func TestComposedCellDeterminism(t *testing.T) {
 	render := func(opt Options) []byte {
 		t.Helper()
-		res, err := Run(composedGrid(), opt)
+		res, err := Run(context.Background(), composedGrid(), opt)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -81,30 +82,55 @@ type Result struct {
 // Run expands the grid, shards the runs across a worker pool, and
 // aggregates. Individual run failures are recorded in their RunResult
 // (and excluded from aggregates), not fatal; only a malformed grid
-// errors.
-func Run(g Grid, opt Options) (*Result, error) {
+// errors. Cancelling ctx stops dispatching, cancels in-flight
+// simulations within one tick, and returns ctx's error.
+func Run(ctx context.Context, g Grid, opt Options) (*Result, error) {
 	plan, err := g.Plan()
 	if err != nil {
 		return nil, err
 	}
-	return RunPlan(plan, opt)
+	return RunPlan(ctx, plan, opt)
 }
 
 // RunPlan executes an already-expanded plan — callers that need the
 // plan up front (progress headers, sizing) expand once and hand it in
 // instead of paying the grid expansion twice.
-func RunPlan(plan *Plan, opt Options) (*Result, error) {
+func RunPlan(ctx context.Context, plan *Plan, opt Options) (*Result, error) {
+	specs := make([]int, len(plan.Specs))
+	for i := range specs {
+		specs[i] = i
+	}
+	results, stream, err := runSpecs(ctx, plan, opt, specs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: plan, Runs: results, Streaming: opt.Streaming}
+	if stream != nil {
+		res.Cells = stream.finalize()
+	} else {
+		res.Cells = aggregate(plan, results)
+	}
+	return res, nil
+}
+
+// runSpecs shards the given spec indices (a subset of plan.Specs, in
+// grid order) across the pool. It returns a results slice indexed like
+// plan.Specs (entries outside the subset are zero) and, in streaming
+// mode, the aggregator holding every folded cell. Both Run/RunPlan and
+// the distributed-sweep worker (RunCells) funnel through here, so every
+// execution mode shares one scheduling and determinism story.
+func runSpecs(ctx context.Context, plan *Plan, opt Options, specs []int) ([]RunResult, *streamAggregator, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(plan.Specs) {
-		workers = len(plan.Specs)
+	if workers > len(specs) {
+		workers = len(specs)
 	}
 
 	var worlds *worldCache
 	if opt.ShareWorlds {
-		worlds = newWorldCache(plan)
+		worlds = newWorldCache(plan, specs)
 	}
 	var stream *streamAggregator
 	if opt.Streaming {
@@ -127,7 +153,7 @@ func RunPlan(plan *Plan, opt Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				rr := runOne(&plan.Specs[idx], worlds)
+				rr := runOne(ctx, &plan.Specs[idx], worlds)
 				if stream != nil {
 					// The aggregator takes over the series (folded in
 					// replicate order, then released); the stored result
@@ -139,31 +165,32 @@ func RunPlan(plan *Plan, opt Options) (*Result, error) {
 				if opt.Progress != nil {
 					mu.Lock()
 					done++
-					opt.Progress(done, len(plan.Specs), &results[idx])
+					opt.Progress(done, len(specs), &results[idx])
 					mu.Unlock()
 				}
 			}
 		}()
 	}
-	for idx := range plan.Specs {
-		jobs <- idx
+dispatch:
+	for _, idx := range specs {
+		select {
+		case jobs <- idx:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-
-	res := &Result{Plan: plan, Runs: results, Streaming: opt.Streaming}
-	if stream != nil {
-		res.Cells = stream.finalize()
-	} else {
-		res.Cells = aggregate(plan, results)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
-	return res, nil
+	return results, stream, nil
 }
 
 // runOne executes one spec and summarises its series. With a world
 // cache it claims a clone of the spec's shared world (releasing its
 // reference either way); without one, sim.New generates the world.
-func runOne(spec *RunSpec, worlds *worldCache) RunResult {
+func runOne(ctx context.Context, spec *RunSpec, worlds *worldCache) RunResult {
 	rr := RunResult{Spec: *spec}
 	cfg := spec.Config
 	if worlds != nil {
@@ -175,7 +202,7 @@ func runOne(spec *RunSpec, worlds *worldCache) RunResult {
 		}
 		cfg.World = world
 	}
-	series, err := sim.RunScenario(cfg)
+	series, err := sim.RunScenarioContext(ctx, cfg)
 	if err != nil {
 		rr.Err = err.Error()
 		return rr

@@ -42,11 +42,13 @@ func specWorldKey(spec *RunSpec) worldKey {
 	return worldKey{seed: spec.Config.Seed, domains: spec.Config.Domains}
 }
 
-// newWorldCache precounts how many runs share each world so entries can
-// be dropped (and collected) the moment the last sharer has cloned.
-func newWorldCache(plan *Plan) *worldCache {
+// newWorldCache precounts how many of the scheduled runs (specs indexes
+// into plan.Specs — the whole plan, or a distributed worker's leased
+// subset) share each world, so entries can be dropped (and collected)
+// the moment the last sharer has cloned.
+func newWorldCache(plan *Plan, specs []int) *worldCache {
 	c := &worldCache{entries: make(map[worldKey]*worldEntry)}
-	for i := range plan.Specs {
+	for _, i := range specs {
 		k := specWorldKey(&plan.Specs[i])
 		e := c.entries[k]
 		if e == nil {
@@ -130,20 +132,36 @@ type cellStream struct {
 	rows      int // min row count across folded runs
 	accs      [][]*stats.StreamingSummary
 
+	// Hijack outcomes accumulate as integer tallies and divide only at
+	// render time. Integer-valued float64 sums are exact below 2^53, so
+	// the quotient is bit-identical to the incremental float accumulation
+	// the exact path performs — and integers cross a JSON wire without
+	// any representation question at all.
 	hijackOrder []string
-	hijacks     map[string]*RPHijackRate
+	hijacks     map[string]*hijackTally
+}
+
+// hijackTally is one relying party's raw outcome counts within a cell.
+type hijackTally struct {
+	runs      int
+	successes int
+	ticks     int
 }
 
 func newStreamAggregator(plan *Plan) *streamAggregator {
 	a := &streamAggregator{cells: make([]*cellStream, len(plan.Cells))}
 	for i, info := range plan.Cells {
-		a.cells[i] = &cellStream{
-			info:    info,
-			parked:  make(map[int]*RunResult),
-			hijacks: make(map[string]*RPHijackRate),
-		}
+		a.cells[i] = newCellStream(info)
 	}
 	return a
+}
+
+func newCellStream(info CellInfo) *cellStream {
+	return &cellStream{
+		info:    info,
+		parked:  make(map[int]*RunResult),
+		hijacks: make(map[string]*hijackTally),
+	}
 }
 
 // add offers one completed run. The aggregator owns the copy it is
@@ -211,49 +229,57 @@ func (cs *cellStream) fold(rr *RunResult) {
 		}
 	}
 	for _, h := range rr.Hijacks {
-		r, exists := cs.hijacks[h.RP]
-		if !exists {
-			r = &RPHijackRate{RP: h.RP}
-			cs.hijacks[h.RP] = r
+		tl := cs.hijacks[h.RP]
+		if tl == nil {
+			tl = &hijackTally{}
+			cs.hijacks[h.RP] = tl
 			cs.hijackOrder = append(cs.hijackOrder, h.RP)
 		}
-		r.Runs++
+		tl.runs++
 		if h.Success {
-			r.SuccessRate++
+			tl.successes++
 		}
-		r.MeanHijackedTicks += float64(h.HijackedTicks)
+		tl.ticks += h.HijackedTicks
 	}
 }
 
-// finalize renders the accumulators as the Cells slice, in grid order —
-// the same shape the exact aggregate produces.
+// cell renders this cell's accumulators as a Cell — the same shape the
+// exact aggregate produces. Works identically on a freshly-folded
+// stream and on one restored from a CellStreamState.
+func (cs *cellStream) cell() Cell {
+	cell := Cell{CellInfo: cs.info, Runs: cs.runs, Errors: cs.errors, Columns: cs.columns}
+	for row := 0; row < cs.rows; row++ {
+		ta := TickAggregate{Metrics: make([]stats.Summary, 0, len(cs.columns))}
+		if row < len(cs.t) {
+			ta.T = cs.t[row]
+		}
+		if row < len(cs.tick) {
+			ta.Tick = cs.tick[row]
+		}
+		for _, acc := range cs.accs[row] {
+			ta.Metrics = append(ta.Metrics, acc.Summary())
+		}
+		cell.Ticks = append(cell.Ticks, ta)
+	}
+	for _, rp := range cs.hijackOrder {
+		tl := cs.hijacks[rp]
+		cell.Hijacks = append(cell.Hijacks, RPHijackRate{
+			RP:                rp,
+			Runs:              tl.runs,
+			SuccessRate:       float64(tl.successes) / float64(tl.runs),
+			MeanHijackedTicks: float64(tl.ticks) / float64(tl.runs),
+		})
+	}
+	return cell
+}
+
+// finalize renders the accumulators as the Cells slice, in grid order.
 func (a *streamAggregator) finalize() []Cell {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	cells := make([]Cell, len(a.cells))
 	for ci, cs := range a.cells {
-		cell := Cell{CellInfo: cs.info, Runs: cs.runs, Errors: cs.errors, Columns: cs.columns}
-		for row := 0; row < cs.rows; row++ {
-			ta := TickAggregate{Metrics: make([]stats.Summary, 0, len(cs.metricIdx))}
-			if row < len(cs.t) {
-				ta.T = cs.t[row]
-			}
-			if row < len(cs.tick) {
-				ta.Tick = cs.tick[row]
-			}
-			for _, acc := range cs.accs[row] {
-				ta.Metrics = append(ta.Metrics, acc.Summary())
-			}
-			cell.Ticks = append(cell.Ticks, ta)
-		}
-		for _, rp := range cs.hijackOrder {
-			r := cs.hijacks[rp]
-			out := *r
-			out.SuccessRate /= float64(r.Runs)
-			out.MeanHijackedTicks /= float64(r.Runs)
-			cell.Hijacks = append(cell.Hijacks, out)
-		}
-		cells[ci] = cell
+		cells[ci] = cs.cell()
 	}
 	return cells
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 )
@@ -27,11 +28,11 @@ func render(t *testing.T, res *Result) (tsv, js []byte) {
 func TestSharedWorldsByteIdentical(t *testing.T) {
 	g := testGrid()
 	g.Scenarios = []string{"baseline", "roa-churn", "cdn-migration"}
-	regen, err := Run(g, Options{Workers: 4})
+	regen, err := Run(context.Background(), g, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	shared, err := Run(g, Options{Workers: 4, ShareWorlds: true})
+	shared, err := Run(context.Background(), g, Options{Workers: 4, ShareWorlds: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestSharedWorldCloneIsolation(t *testing.T) {
 	g := testGrid()
 	g.Scenarios = []string{"cdn-migration", "baseline"}
 	g.Replicates = 3
-	res, err := Run(g, Options{Workers: 3, ShareWorlds: true})
+	res, err := Run(context.Background(), g, Options{Workers: 3, ShareWorlds: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestSharedWorldCloneIsolation(t *testing.T) {
 	// migration mutations leaked into the shared snapshot, the baseline
 	// replicate of the same seed would see a different world than an
 	// isolated run.
-	solo, err := Run(Grid{
+	solo, err := Run(context.Background(), Grid{
 		Scenarios:     []string{"baseline"},
 		Seeds:         []int64{res.Plan.Seeds[0]},
 		Domains:       g.Domains,
@@ -106,7 +107,7 @@ func TestStreamingDeterministicAcrossWorkers(t *testing.T) {
 		{Workers: 4, Streaming: true},
 		{Workers: 4, Streaming: true, ShareWorlds: true},
 	} {
-		res, err := Run(g, opt)
+		res, err := Run(context.Background(), g, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,11 +132,11 @@ func TestStreamingDeterministicAcrossWorkers(t *testing.T) {
 func TestStreamingMatchesExactAggregates(t *testing.T) {
 	g := testGrid()
 	g.Replicates = 4
-	exact, err := Run(g, Options{Workers: 4})
+	exact, err := Run(context.Background(), g, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	stream, err := Run(g, Options{Workers: 4, Streaming: true, ShareWorlds: true})
+	stream, err := Run(context.Background(), g, Options{Workers: 4, Streaming: true, ShareWorlds: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestStreamingMatchesExactAggregates(t *testing.T) {
 // them), so resident series memory is the accumulators' O(cells ×
 // ticks), not O(runs × ticks).
 func TestStreamingReleasesSeries(t *testing.T) {
-	res, err := Run(testGrid(), Options{Workers: 2, Streaming: true})
+	res, err := Run(context.Background(), testGrid(), Options{Workers: 2, Streaming: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestStreamingReleasesSeries(t *testing.T) {
 	if !res.Streaming {
 		t.Error("result not marked streaming")
 	}
-	exact, err := Run(testGrid(), Options{Workers: 2})
+	exact, err := Run(context.Background(), testGrid(), Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestStreamingRecordsErrors(t *testing.T) {
 	g.Scenarios = []string{"cdn-migration"}
 	g.Replicates = 2
 	g.Params = map[string][]string{"from": {"no-such-cdn"}}
-	res, err := Run(g, Options{Workers: 2, Streaming: true})
+	res, err := Run(context.Background(), g, Options{Workers: 2, Streaming: true})
 	if err != nil {
 		t.Fatal(err)
 	}

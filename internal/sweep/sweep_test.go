@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -116,7 +117,7 @@ func TestDeriveSeedStable(t *testing.T) {
 func TestDeterminismAcrossWorkers(t *testing.T) {
 	outputs := make([][2][]byte, 0, 2)
 	for _, workers := range []int{1, 4} {
-		res, err := Run(testGrid(), Options{Workers: workers})
+		res, err := Run(context.Background(), testGrid(), Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 
 // TestAggregates sanity-checks the folded output on a real small sweep.
 func TestAggregates(t *testing.T) {
-	res, err := Run(testGrid(), Options{Workers: 4})
+	res, err := Run(context.Background(), testGrid(), Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestRunErrorsRecorded(t *testing.T) {
 	g.Scenarios = []string{"cdn-migration"}
 	g.Replicates = 1
 	g.Params = map[string][]string{"from": {"no-such-cdn"}}
-	res, err := Run(g, Options{Workers: 2})
+	res, err := Run(context.Background(), g, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,10 +34,12 @@
 package ripki
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/netip"
 
+	"ripki/internal/distsweep"
 	"ripki/internal/dns"
 	"ripki/internal/httparchive"
 	"ripki/internal/measure"
@@ -344,16 +346,57 @@ type (
 
 // RunSweep expands the grid, runs every simulation across the worker
 // pool, and aggregates. Same grid + master seed ⇒ byte-identical output
-// at any worker count.
-func RunSweep(g SweepGrid, opt SweepOptions) (*SweepResult, error) { return sweep.Run(g, opt) }
+// at any worker count. Cancelling ctx stops dispatching and cancels
+// in-flight simulations within one tick.
+func RunSweep(ctx context.Context, g SweepGrid, opt SweepOptions) (*SweepResult, error) {
+	return sweep.Run(ctx, g, opt)
+}
 
 // RunSweepPlan executes an already-expanded plan (SweepGrid.Plan), so
 // callers needing the plan up front don't pay grid expansion twice.
-func RunSweepPlan(p *SweepPlan, opt SweepOptions) (*SweepResult, error) { return sweep.RunPlan(p, opt) }
+func RunSweepPlan(ctx context.Context, p *SweepPlan, opt SweepOptions) (*SweepResult, error) {
+	return sweep.RunPlan(ctx, p, opt)
+}
 
 // ParseSweepGrid reads a JSON grid file (durations as strings, unknown
 // fields rejected).
 func ParseSweepGrid(data []byte) (SweepGrid, error) { return sweep.ParseGrid(data) }
+
+// MarshalSweepGrid renders a grid in the schema ParseSweepGrid accepts
+// (ParseSweepGrid(MarshalSweepGrid(g)) re-expands the identical plan).
+func MarshalSweepGrid(g SweepGrid) ([]byte, error) { return sweep.MarshalGrid(g) }
+
+// --- distributed sweeps ------------------------------------------------
+
+// Re-exported distributed-sweep types: one plan sharded across
+// processes with the single-process byte-identical output contract
+// intact (docs/sweep.md, "Distributed sweeps").
+type (
+	// DistCoordinator leases contiguous cell ranges to workers,
+	// journals completed cells, and assembles the byte-identical Result.
+	DistCoordinator = distsweep.Coordinator
+	// DistCoordinatorConfig is the coordinator's grid, mode, lease and
+	// checkpoint configuration.
+	DistCoordinatorConfig = distsweep.CoordinatorConfig
+	// DistWorkerConfig is the worker's local execution tuning.
+	DistWorkerConfig = distsweep.WorkerConfig
+	// SweepCellPartial is one completed cell crossing the
+	// worker→coordinator wire.
+	SweepCellPartial = sweep.CellPartial
+)
+
+// NewDistCoordinator expands the grid, binds addr, and loads any
+// matching checkpoint records so finished cells are never re-leased.
+func NewDistCoordinator(addr string, cfg DistCoordinatorConfig) (*DistCoordinator, error) {
+	return distsweep.NewCoordinator(addr, cfg)
+}
+
+// DistWork connects to a coordinator and runs leases until the sweep
+// finishes (nil), the connection drops (in-flight runs are cancelled
+// within a tick), or ctx is cancelled.
+func DistWork(ctx context.Context, addr string, cfg DistWorkerConfig) error {
+	return distsweep.Work(ctx, addr, cfg)
+}
 
 // --- serving -----------------------------------------------------------
 

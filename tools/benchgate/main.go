@@ -12,8 +12,9 @@
 // worsens by more than -threshold (default 0.30 = +30%), or when a
 // baselined benchmark is missing from the input (a silent rename or
 // deletion would otherwise retire its gate unnoticed). Benchmarks in
-// the input but not the baseline are reported and ignored — refresh the
-// baseline (make bench-baseline) to start gating them.
+// the input but not the baseline WARN, never fail: a new benchmark must
+// be able to land in the same change that introduces it, before the
+// baseline refresh (make bench-baseline) starts gating it.
 //
 // Best-of folding makes the ns/op comparison noise-tolerant: with
 // -count 3 a single slow run (GC pause, noisy neighbour) cannot fail
@@ -110,12 +111,14 @@ func Parse(r io.Reader) (map[string]Entry, error) {
 }
 
 // Compare checks current observations against the baseline and returns
-// the list of failures (empty = gate passes) and an informational
-// report. nsThreshold and bThreshold are the allowed fractional
-// regressions for ns/op and B/op — separate because B/op is
+// the failures (empty = gate passes), the warnings (benchmarks in the
+// input but not yet baselined — surfaced loudly but never fatal, so a
+// new benchmark can land ahead of its baseline refresh), and an
+// informational report. nsThreshold and bThreshold are the allowed
+// fractional regressions for ns/op and B/op — separate because B/op is
 // deterministic across machines while ns/op tracks the hardware that
 // wrote the baseline.
-func Compare(base *Baseline, cur map[string]Entry, nsThreshold, bThreshold float64) (failures, report []string) {
+func Compare(base *Baseline, cur map[string]Entry, nsThreshold, bThreshold float64) (failures, warnings, report []string) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -153,9 +156,9 @@ func Compare(base *Baseline, cur map[string]Entry, nsThreshold, bThreshold float
 	}
 	sort.Strings(extra)
 	for _, name := range extra {
-		report = append(report, fmt.Sprintf("%-55s (not in baseline; run make bench-baseline to gate it)", name))
+		warnings = append(warnings, fmt.Sprintf("%s: not in baseline; run `make bench-baseline` to start gating it", name))
 	}
-	return failures, report
+	return failures, warnings, report
 }
 
 func main() {
@@ -208,9 +211,14 @@ func main() {
 	if *nsThreshold >= 0 {
 		nsThr = *nsThreshold
 	}
-	failures, report := Compare(&base, cur, nsThr, *threshold)
+	failures, warnings, report := Compare(&base, cur, nsThr, *threshold)
 	for _, line := range report {
 		fmt.Println(line)
+	}
+	// Unbaselined benchmarks warn on stderr — visible in CI logs even
+	// when the gate passes — but never fail the run.
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "WARNING:", w)
 	}
 	if len(failures) > 0 {
 		fmt.Println()

@@ -59,7 +59,7 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkSweep/workers=4": {NsPerOp: 1200, BPerOp: 480},
 		"BenchmarkSimTick":         {NsPerOp: 90, BPerOp: 50},
 	}
-	if failures, _ := Compare(base, ok, 0.30, 0.30); len(failures) != 0 {
+	if failures, _, _ := Compare(base, ok, 0.30, 0.30); len(failures) != 0 {
 		t.Errorf("in-threshold run failed the gate: %v", failures)
 	}
 	// A synthetic 2× slowdown on one benchmark: fails.
@@ -67,7 +67,7 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkSweep/workers=4": {NsPerOp: 2000, BPerOp: 500},
 		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
 	}
-	failures, _ := Compare(base, slow, 0.30, 0.30)
+	failures, _, _ := Compare(base, slow, 0.30, 0.30)
 	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op regressed 100.0%") {
 		t.Errorf("2x slowdown not caught: %v", failures)
 	}
@@ -76,20 +76,20 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkSweep/workers=4": {NsPerOp: 1000, BPerOp: 800},
 		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
 	}
-	if failures, _ := Compare(base, alloc, 0.30, 0.30); len(failures) != 1 {
+	if failures, _, _ := Compare(base, alloc, 0.30, 0.30); len(failures) != 1 {
 		t.Errorf("B/op regression not caught: %v", failures)
 	}
 	// Split thresholds, the CI shape: a loose ns/op gate (absorbing
 	// hardware skew from the baseline machine) still fails a 2×
 	// slowdown and keeps B/op tight.
-	if failures, _ := Compare(base, slow, 0.75, 0.30); len(failures) != 1 {
+	if failures, _, _ := Compare(base, slow, 0.75, 0.30); len(failures) != 1 {
 		t.Errorf("2x slowdown passed the loose ns gate: %v", failures)
 	}
 	skewed := map[string]Entry{
 		"BenchmarkSweep/workers=4": {NsPerOp: 1500, BPerOp: 800}, // ns +50% (machine skew), B/op +60% (real)
 		"BenchmarkSimTick":         {NsPerOp: 150, BPerOp: 50},
 	}
-	failures, _ = Compare(base, skewed, 0.75, 0.30)
+	failures, _, _ = Compare(base, skewed, 0.75, 0.30)
 	if len(failures) != 1 || !strings.Contains(failures[0], "B/op regressed") {
 		t.Errorf("split thresholds: want the B/op failure alone, got %v", failures)
 	}
@@ -97,26 +97,27 @@ func TestCompareGate(t *testing.T) {
 	missing := map[string]Entry{
 		"BenchmarkSimTick": {NsPerOp: 100, BPerOp: 50},
 	}
-	if failures, _ := Compare(base, missing, 0.30, 0.30); len(failures) != 1 {
+	if failures, _, _ := Compare(base, missing, 0.30, 0.30); len(failures) != 1 {
 		t.Errorf("missing benchmark not caught: %v", failures)
 	}
-	// New benchmarks not yet baselined are reported, never failed.
+	// New benchmarks not yet baselined warn, never fail — the landing
+	// path for a benchmark added before its baseline refresh.
 	extra := map[string]Entry{
 		"BenchmarkSweep/workers=4": {NsPerOp: 1000, BPerOp: 500},
 		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
 		"BenchmarkNew":             {NsPerOp: 7, BPerOp: 7},
 	}
-	failures, report := Compare(base, extra, 0.30, 0.30)
+	failures, warnings, _ := Compare(base, extra, 0.30, 0.30)
 	if len(failures) != 0 {
 		t.Errorf("unbaselined benchmark failed the gate: %v", failures)
 	}
-	found := false
-	for _, line := range report {
-		if strings.Contains(line, "BenchmarkNew") && strings.Contains(line, "not in baseline") {
-			found = true
-		}
+	if len(warnings) != 1 ||
+		!strings.Contains(warnings[0], "BenchmarkNew") ||
+		!strings.Contains(warnings[0], "not in baseline") {
+		t.Errorf("unbaselined benchmark did not warn: %v", warnings)
 	}
-	if !found {
-		t.Error("unbaselined benchmark not reported")
+	// A fully-baselined run warns about nothing.
+	if _, warnings, _ := Compare(base, ok, 0.30, 0.30); len(warnings) != 0 {
+		t.Errorf("spurious warnings: %v", warnings)
 	}
 }
