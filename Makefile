@@ -11,6 +11,9 @@ BENCH_FILE  ?= BENCH_baseline.json
 # passes a looser value (see .github/workflows/ci.yml) to absorb
 # runner-vs-baseline hardware skew — B/op always stays at 30%.
 BENCH_NS_THRESHOLD ?= 0.30
+# Set BENCH_JSON to a path to also write bench-check's comparison as a
+# machine-readable report (CI archives it as an artifact).
+BENCH_JSON ?=
 
 .PHONY: build test race vet fmt-check bench bench-baseline bench-check ci
 
@@ -51,6 +54,6 @@ bench-baseline:
 	@$(MAKE) --no-print-directory bench | $(GO) run ./tools/benchgate -write $(BENCH_FILE)
 
 bench-check:
-	@$(MAKE) --no-print-directory bench | $(GO) run ./tools/benchgate -check $(BENCH_FILE) -ns-threshold $(BENCH_NS_THRESHOLD)
+	@$(MAKE) --no-print-directory bench | $(GO) run ./tools/benchgate -check $(BENCH_FILE) -ns-threshold $(BENCH_NS_THRESHOLD) $(if $(BENCH_JSON),-json $(BENCH_JSON))
 
 ci: build vet fmt-check test

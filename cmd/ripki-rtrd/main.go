@@ -14,6 +14,7 @@ import (
 	"net"
 	"os"
 
+	"ripki/internal/obs"
 	"ripki/internal/rpki/vrp"
 	"ripki/internal/rtr"
 	"ripki/internal/webworld"
@@ -28,8 +29,18 @@ func main() {
 		domains = flag.Int("domains", 20000, "world size when generating")
 		seed    = flag.Int64("seed", 1, "world generation seed")
 		session = flag.Uint("session", 911, "RTR session ID")
+		pprofAt = flag.String("pprof", "", `serve the runtime profiles (/debug/pprof/) over HTTP on this address (e.g. "127.0.0.1:6060"); off when empty`)
 	)
 	flag.Parse()
+
+	if *pprofAt != "" {
+		ln, err := obs.ServePprof(*pprofAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", ln.Addr())
+	}
 
 	var set *vrp.Set
 	if *vrpFile != "" {

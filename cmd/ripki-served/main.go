@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"ripki/internal/obs"
 	"ripki/internal/rpki/vrp"
 	"ripki/internal/serve"
 	"ripki/internal/sim"
@@ -82,6 +83,7 @@ func configure(args []string, stderr io.Writer) (*daemon, error) {
 		simInterval = fs.Duration("sim-interval", time.Second, "wall-clock time per virtual scenario tick")
 		simTick     = fs.Duration("sim-tick", 30*time.Second, "virtual tick granularity of the scenario")
 		simDuration = fs.Duration("sim-duration", 30*time.Minute, "virtual horizon of the scenario")
+		pprofFlag   = fs.Bool("pprof", false, "also serve the runtime profiles under /debug/pprof/ on the main listener")
 	)
 	fs.Var(params, "param", "scenario parameter key=value (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -139,12 +141,24 @@ func configure(args []string, stderr io.Writer) (*daemon, error) {
 		return nil, err
 	}
 
+	handler := svc.Handler()
+	if *pprofFlag {
+		// Opt-in only: the profile endpoints expose internals a fleet
+		// deployment would not want on its query port by default.
+		mux := http.NewServeMux()
+		obs.RegisterPprof(mux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	d := &daemon{
 		svc:     svc,
-		handler: svc.Handler(),
+		handler: handler,
 		listen:  *listen,
 		banner: fmt.Sprintf("serving %d domains, %d VRPs (source=%s)",
 			table.Len(), initial.Len(), source),
+	}
+	if *pprofFlag {
+		d.banner += ", pprof on /debug/pprof/"
 	}
 	if *rtrAddr != "" {
 		addr := *rtrAddr

@@ -51,6 +51,40 @@ func TestConfigureWiresTheService(t *testing.T) {
 	}
 }
 
+// TestConfigurePprofGate: the profile endpoints are opt-in, and the
+// service endpoints keep answering when they're mounted.
+func TestConfigurePprofGate(t *testing.T) {
+	var stderr bytes.Buffer
+	d, err := configure([]string{"-domains", "1500"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	d.handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code == http.StatusOK {
+		t.Fatal("pprof served without opt-in")
+	}
+
+	d, err = configure([]string{"-domains", "1500", "-pprof"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.banner, "pprof") {
+		t.Errorf("banner doesn't announce pprof: %q", d.banner)
+	}
+	for path, want := range map[string]int{
+		"/debug/pprof/": http.StatusOK,
+		"/healthz":      http.StatusOK,
+		"/metrics":      http.StatusOK,
+	} {
+		rec := httptest.NewRecorder()
+		d.handler.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != want {
+			t.Errorf("GET %s with -pprof: %d, want %d", path, rec.Code, want)
+		}
+	}
+}
+
 // TestConfigureScenarioSource wires the sim source without running it.
 func TestConfigureScenarioSource(t *testing.T) {
 	var stderr bytes.Buffer

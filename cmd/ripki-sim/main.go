@@ -57,6 +57,8 @@ func main() {
 		sampleDomains = flag.Int("sample-domains", 1500, "probe's stratified domain sample size")
 		format        = flag.String("format", "tsv", `output format: "tsv" or "json"`)
 		events        = flag.Bool("events", false, "narrate bus events to stderr while running")
+		tracePath     = flag.String("trace", "", "write a structured trace of the run to this file (virtual-clock timestamps; byte-identical for the same seed and flags)")
+		traceFormat   = flag.String("trace-format", "jsonl", `trace export format: "jsonl" (one event per line) or "chrome" (chrome://tracing / Perfetto)`)
 	)
 	flag.Var(params, "param", `scenario parameter key=value (repeatable); in a composition, "component.key=value" targets one component`)
 	flag.Parse()
@@ -87,9 +89,29 @@ func main() {
 	if *events {
 		sim.Bus.SubscribeAll(func(e ripki.SimEvent) { fmt.Fprintln(os.Stderr, e) })
 	}
+	var trace *ripki.Trace
+	if *tracePath != "" {
+		trace = ripki.NewTrace()
+		sim.AttachTrace(trace)
+	}
 	series, err := sim.Run()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if trace != nil {
+		// Close first: it spans out any hijacks still active at the
+		// horizon, completing the trace.
+		sim.Close()
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteFormat(f, *traceFormat); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	switch *format {

@@ -33,6 +33,8 @@
 //	ripki-sweep -coordinate :9200 -scenarios roa-churn -replicates 8 -checkpoint ckpt/
 //	ripki-sweep -worker host:9200 -workers 8          # on each machine
 //	ripki-sweep -coordinate :9200 -scenarios roa-churn -replicates 8 -resume ckpt/
+//	ripki-sweep -coordinate :9200 -http :9201 ...     # + GET /progress and /metrics
+//	ripki-sweep -status host:9201                     # render live progress and exit
 //
 // The coordinator expands the grid, leases contiguous cell ranges to
 // workers, journals each completed cell durably (-checkpoint), and
@@ -45,10 +47,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -140,6 +145,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		resume        = fs.String("resume", "", "coordinator: resume from this checkpoint directory, re-leasing only unfinished cells (implies -checkpoint)")
 		leaseTimeout  = fs.Duration("lease-timeout", 0, "coordinator: re-lease a silent cell range after this long (default 2m)")
 		leaseCells    = fs.Int("lease-cells", 0, "coordinator: max cells per lease (default cells/16, min 1)")
+		httpAddr      = fs.String("http", "", `coordinator: serve GET /progress (live sweep standing as JSON) and GET /metrics (Prometheus text) on this address (e.g. ":9201")`)
+		pprofFlag     = fs.Bool("pprof", false, "coordinator: also mount /debug/pprof/ on the -http listener")
+		status        = fs.String("status", "", "fetch a running coordinator's /progress from this address (its -http address), render it, and exit")
 	)
 	fs.Var(params, "param", `scenario parameter axis key=value[,value...] (repeatable, crossed); "component.key=..." targets one component of a composition`)
 	if err := fs.Parse(args); err != nil {
@@ -149,6 +157,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return errFlagParse // already reported by the FlagSet
 	}
 
+	if *status != "" {
+		if *coordinate != "" || *workerAddr != "" {
+			return errors.New("-status is its own mode; drop -coordinate/-worker")
+		}
+		return printStatus(*status, stdout)
+	}
 	if *coordinate != "" && *workerAddr != "" {
 		return errors.New("-coordinate and -worker are mutually exclusive")
 	}
@@ -182,6 +196,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		if *leaseTimeout != 0 || *leaseCells != 0 {
 			return errors.New("-lease-timeout and -lease-cells require -coordinate")
+		}
+		if *httpAddr != "" || *pprofFlag {
+			return errors.New("-http and -pprof require -coordinate")
 		}
 	}
 
@@ -254,6 +271,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *httpAddr != "" {
+			ln, err := net.Listen("tcp", *httpAddr)
+			if err != nil {
+				return err
+			}
+			srv := &http.Server{Handler: coord.Handler(*pprofFlag)}
+			go srv.Serve(ln)
+			defer srv.Close()
+			if !*quiet {
+				fmt.Fprintf(stderr, "ripki-sweep coordinator: progress on http://%s/progress\n", ln.Addr())
+			}
+		}
 		if !*quiet {
 			plan := coord.Plan()
 			fmt.Fprintf(stderr, "ripki-sweep coordinator: listening on %s: %d cells × %d seeds = %d runs (mode=%s)\n",
@@ -276,7 +305,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				len(plan.Cells), len(plan.Seeds), len(plan.Specs), *workers, *shareWorlds, mode)
 			start := time.Now()
 			opt.Progress = func(done, total int, rr *ripki.SweepRunResult) {
-				fmt.Fprintf(stderr, "ripki-sweep: [%3d/%d] %s (%.1fs)\n", done, total, rr, time.Since(start).Seconds())
+				fmt.Fprintf(stderr, "ripki-sweep: [%3d/%d] %s (%.1fs%s)\n",
+					done, total, rr, time.Since(start).Seconds(), etaSuffix(start, done, total))
 			}
 		}
 		if res, err = ripki.RunSweepPlan(ctx, plan, opt); err != nil {
@@ -292,4 +322,74 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// etaSuffix extrapolates elapsed/done over the remaining runs. Empty
+// until the first run lands (no rate yet); ", done" on the last.
+func etaSuffix(start time.Time, done, total int) string {
+	switch {
+	case done >= total:
+		return ", done"
+	case done <= 0:
+		return ""
+	}
+	eta := time.Since(start) / time.Duration(done) * time.Duration(total-done)
+	return fmt.Sprintf(", eta %.1fs", eta.Seconds())
+}
+
+// printStatus fetches a coordinator's /progress and renders it for a
+// terminal.
+func printStatus(addr string, stdout io.Writer) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/progress"
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var p ripki.DistProgress
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return fmt.Errorf("decoding %s: %w", url, err)
+	}
+
+	mode := "exact"
+	if p.Streaming {
+		mode = "streaming"
+	}
+	state := "running"
+	if p.Done {
+		state = "done"
+	}
+	fmt.Fprintf(stdout, "plan %s (mode=%s) %s, up %.1fs\n", p.PlanHash, mode, state, p.UptimeSeconds)
+	fmt.Fprintf(stdout, "cells: %d/%d completed (%d resumed), %d leased, %d pending\n",
+		p.Cells.Completed, p.Cells.Total, p.Cells.Resumed, p.Cells.Leased, p.Cells.Pending)
+	eta := "unknown"
+	if p.ETASeconds >= 0 {
+		eta = fmt.Sprintf("%.1fs", p.ETASeconds)
+	}
+	fmt.Fprintf(stdout, "rate: %.2f cells/s, eta %s\n", p.RateCellsPerSecond, eta)
+	if cp := p.Checkpoint; cp != nil {
+		last := "never"
+		if cp.LastWriteAgeSeconds >= 0 {
+			last = fmt.Sprintf("%.1fs ago", cp.LastWriteAgeSeconds)
+		}
+		fmt.Fprintf(stdout, "checkpoint: %d journaled, lag %d, last write %s\n", cp.Journaled, cp.Lag, last)
+	}
+	fmt.Fprintf(stdout, "workers: %d\n", len(p.Workers))
+	for _, w := range p.Workers {
+		conn := "connected"
+		if !w.Connected {
+			conn = "gone"
+		}
+		fmt.Fprintf(stdout, "  %-21s %-9s leased=%d completed=%d (%.2f cells/s over %.1fs)\n",
+			w.Name, conn, w.Leased, w.Completed, w.CellsPerSecond, w.ConnectedSeconds)
+	}
+	return nil
 }

@@ -3,7 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -114,6 +117,28 @@ func TestHelpAndBadFlags(t *testing.T) {
 	}
 }
 
+// TestProgressETA: the per-run progress line carries a live ETA once a
+// rate exists, and the final line says done. Two replicates give one
+// intermediate line (an extrapolation) and one closing line.
+func TestProgressETA(t *testing.T) {
+	args := []string{
+		"-scenarios", "baseline", "-replicates", "2",
+		"-domains", "800", "-tick", "30s", "-duration", "2m",
+		"-sample-every", "4", "-sample-domains", "50",
+	}
+	var stdout bytes.Buffer
+	stderr := &syncBuffer{}
+	if err := run(context.Background(), args, &stdout, stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), ", eta ") {
+		t.Errorf("intermediate progress line lacks an ETA: %q", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), ", done)") {
+		t.Errorf("final progress line not marked done: %q", stderr.String())
+	}
+}
+
 // TestDistributedFlagValidation: the mode flags police each other — a
 // worker's grid comes from the coordinator, so grid-shaping flags are
 // refused, and the coordinator-only flags demand -coordinate.
@@ -133,6 +158,12 @@ func TestDistributedFlagValidation(t *testing.T) {
 		"stray-lease-cells": {
 			append(append([]string{}, fastArgs...), "-lease-cells", "2"), "require -coordinate"},
 		"split-journal": {[]string{"-coordinate", ":0", "-checkpoint", "a", "-resume", "b"}, "same directory"},
+		"stray-http": {
+			append(append([]string{}, fastArgs...), "-http", ":0"), "require -coordinate"},
+		"stray-pprof": {
+			append(append([]string{}, fastArgs...), "-pprof"), "require -coordinate"},
+		"status-plus-coordinate": {[]string{"-status", "host:9201", "-coordinate", ":0"}, "its own mode"},
+		"status-plus-worker":     {[]string{"-status", "host:9201", "-worker", "x:1"}, "its own mode"},
 	}
 	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -237,6 +268,103 @@ func TestDistributedCLIRoundTrip(t *testing.T) {
 	}
 	if records != 2 {
 		t.Errorf("journal holds %d cell records, want 2", records)
+	}
+}
+
+// TestCoordinatorHTTPAndStatus: -http serves a live /progress while the
+// coordinator waits for workers, and -status renders that JSON for a
+// terminal. Runs against a real coordinator process loop over loopback.
+func TestCoordinatorHTTPAndStatus(t *testing.T) {
+	gridArgs := []string{
+		"-scenarios", "baseline", "-replicates", "1",
+		"-domains", "800", "-tick", "30s", "-duration", "2m",
+		"-sample-every", "4", "-sample-domains", "50",
+	}
+	coordArgs := append(append([]string{}, gridArgs...),
+		"-coordinate", "127.0.0.1:0", "-http", "127.0.0.1:0")
+	var coordOut bytes.Buffer
+	coordErr := &syncBuffer{}
+	coordDone := make(chan error, 1)
+	go func() {
+		coordDone <- run(context.Background(), coordArgs, &coordOut, coordErr)
+	}()
+
+	// The header names both addresses; poll for them.
+	var leaseAddr, httpAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for leaseAddr == "" || httpAddr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never announced its addresses: %q", coordErr.String())
+		}
+		for _, line := range strings.Split(coordErr.String(), "\n") {
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				leaseAddr = strings.TrimSuffix(strings.Fields(rest)[0], ":")
+			}
+			if _, rest, ok := strings.Cut(line, "progress on http://"); ok {
+				httpAddr = strings.TrimSuffix(strings.Fields(rest)[0], "/progress")
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Live /progress before any worker connects: everything pending, no
+	// rate yet.
+	resp, err := http.Get("http://" + httpAddr + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p struct {
+		Cells struct {
+			Total, Completed, Pending int
+		} `json:"cells"`
+		ETASeconds float64 `json:"eta_seconds"`
+		Done       bool    `json:"done"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&p)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cells.Total != 1 || p.Cells.Pending != 1 || p.Done || p.ETASeconds != -1 {
+		t.Errorf("fresh /progress: %+v", p)
+	}
+
+	// -status renders the same report through the CLI.
+	var statusOut, statusErr bytes.Buffer
+	if err := run(context.Background(), []string{"-status", httpAddr}, &statusOut, &statusErr); err != nil {
+		t.Fatalf("-status: %v (stderr %q)", err, statusErr.String())
+	}
+	for _, want := range []string{"running", "cells: 0/1 completed", "eta unknown", "workers: 0"} {
+		if !strings.Contains(statusOut.String(), want) {
+			t.Errorf("-status output missing %q: %q", want, statusOut.String())
+		}
+	}
+
+	// Finish the sweep so the coordinator exits cleanly.
+	var workerOut, workerErr bytes.Buffer
+	if err := run(context.Background(), []string{"-worker", leaseAddr, "-quiet"}, &workerOut, &workerErr); err != nil {
+		t.Fatalf("worker: %v (stderr %q)", err, workerErr.String())
+	}
+	if err := <-coordDone; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if coordOut.Len() == 0 {
+		t.Error("coordinator produced no output")
+	}
+}
+
+// TestStatusBadAddress: -status against nothing is a plain error, not a
+// hang.
+func TestStatusBadAddress(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here any more
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-status", addr}, &stdout, &stderr); err == nil {
+		t.Error("-status against a dead address succeeded")
 	}
 }
 

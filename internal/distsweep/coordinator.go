@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ripki/internal/obs"
 	"ripki/internal/sweep"
 )
 
@@ -51,9 +52,30 @@ type Coordinator struct {
 	ln       net.Listener
 	leases   *leaseTable
 	journal  *journal // nil when not checkpointing
+	started  time.Time
+	resumed  int // cells pre-completed from the checkpoint
 
-	mu       sync.Mutex
-	partials map[int]sweep.CellPartial
+	// Observability (see progress.go): the scrape registry and the
+	// instruments the protocol path feeds.
+	reg           *obs.Registry
+	partialsTotal *obs.Counter
+	duplicates    *obs.Counter
+	cellSeconds   *obs.Histogram
+
+	mu          sync.Mutex
+	partials    map[int]sweep.CellPartial
+	workers     map[string]*workerStat
+	journaled   int       // cells durably journaled (incl. resumed)
+	lastJournal time.Time // last successful journal write
+}
+
+// workerStat is one worker connection's lifetime bookkeeping (guarded
+// by Coordinator.mu).
+type workerStat struct {
+	connected bool
+	since     time.Time // connect time
+	last      time.Time // disconnect time (when !connected)
+	completed int       // cells this worker delivered first
 }
 
 // NewCoordinator expands the grid, binds addr (use ":0" or
@@ -84,8 +106,11 @@ func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 		hash:     plan.Hash(),
 		gridWire: gridWire,
 		leases:   newLeaseTable(len(plan.Cells), cfg.LeaseTimeout, cfg.LeaseCells),
+		started:  time.Now(),
 		partials: make(map[int]sweep.CellPartial),
+		workers:  make(map[string]*workerStat),
 	}
+	c.buildRegistry()
 	if cfg.CheckpointDir != "" {
 		j, err := openJournal(cfg.CheckpointDir, c.hash, cfg.Streaming)
 		if err != nil {
@@ -103,6 +128,8 @@ func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 			c.partials[cell] = p
 			c.leases.markDone(cell)
 		}
+		c.resumed = len(resumed)
+		c.journaled = len(resumed)
 		if len(resumed) > 0 {
 			c.logf("resumed %d/%d cells from %s", len(resumed), len(plan.Cells), cfg.CheckpointDir)
 		}
@@ -246,6 +273,8 @@ func (c *Coordinator) serve(conn net.Conn, finish func()) {
 		return
 	}
 	c.logf("worker %s connected", worker)
+	c.workerConnected(worker)
+	defer c.workerDisconnected(worker)
 
 	for {
 		req, err := readFrame(br)
@@ -298,22 +327,30 @@ func (c *Coordinator) accept(p *sweep.CellPartial, worker string) (allDone bool,
 	if p.Cell < 0 || p.Cell >= len(c.plan.Cells) {
 		return false, fmt.Errorf("cell %d outside the plan's %d cells", p.Cell, len(c.plan.Cells))
 	}
+	c.partialsTotal.Inc()
 	c.mu.Lock()
 	_, have := c.partials[p.Cell]
 	c.mu.Unlock()
 	if have {
+		c.duplicates.Inc()
 		return false, nil
 	}
 	if c.journal != nil {
 		if err := c.journal.write(p); err != nil {
 			return false, err
 		}
+		c.mu.Lock()
+		c.journaled++
+		c.lastJournal = time.Now()
+		c.mu.Unlock()
 	}
 	c.mu.Lock()
 	c.partials[p.Cell] = *p
 	c.mu.Unlock()
-	newlyDone, allDone := c.leases.complete(p.Cell)
+	newlyDone, allDone, held := c.leases.complete(p.Cell)
 	if newlyDone {
+		c.cellSeconds.Observe(held.Seconds())
+		c.creditWorker(worker)
 		c.logf("cell %d done (%d/%d) from %s", p.Cell, len(c.plan.Cells)-c.leases.remaining(), len(c.plan.Cells), worker)
 	}
 	return allDone, nil

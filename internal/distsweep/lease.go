@@ -31,6 +31,7 @@ type leaseTable struct {
 	state   []cellState
 	worker  []string    // holder of each leased cell
 	expires []time.Time // per leased cell
+	granted []time.Time // when each leased cell was last handed out
 	left    int         // cells not yet done
 	closed  bool        // coordinator shutting down
 }
@@ -45,6 +46,7 @@ func newLeaseTable(cells int, timeout time.Duration, chunk int) *leaseTable {
 		state:   make([]cellState, cells),
 		worker:  make([]string, cells),
 		expires: make([]time.Time, cells),
+		granted: make([]time.Time, cells),
 		left:    cells,
 	}
 	lt.cond = sync.NewCond(&lt.mu)
@@ -93,11 +95,13 @@ func (lt *leaseTable) grabLocked(worker string) (first, count int) {
 		return 0, 0
 	}
 	first = i
-	deadline := time.Now().Add(lt.timeout)
+	now := time.Now()
+	deadline := now.Add(lt.timeout)
 	for i < len(lt.state) && lt.state[i] == cellPending && count < lt.chunk {
 		lt.state[i] = cellLeased
 		lt.worker[i] = worker
 		lt.expires[i] = deadline
+		lt.granted[i] = now
 		i++
 		count++
 	}
@@ -122,12 +126,16 @@ func (lt *leaseTable) reapLocked(now time.Time) {
 // complete marks a cell done no matter who holds its lease: partials
 // are deterministic, so a late delivery from an expired lease is as
 // good as the re-leased one. It reports whether the cell was newly
-// completed (the caller journals and stores only then) and whether the
-// whole sweep just finished.
-func (lt *leaseTable) complete(cell int) (newlyDone, allDone bool) {
+// completed (the caller journals and stores only then), whether the
+// whole sweep just finished, and how long the cell's last lease was out
+// (zero when the cell was never leased, e.g. a checkpoint resume).
+func (lt *leaseTable) complete(cell int) (newlyDone, allDone bool, held time.Duration) {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	if lt.state[cell] != cellDone {
+		if lt.state[cell] == cellLeased {
+			held = time.Since(lt.granted[cell])
+		}
 		lt.state[cell] = cellDone
 		lt.worker[cell] = ""
 		lt.left--
@@ -136,7 +144,7 @@ func (lt *leaseTable) complete(cell int) (newlyDone, allDone bool) {
 	if lt.left == 0 {
 		lt.cond.Broadcast()
 	}
-	return newlyDone, lt.left == 0
+	return newlyDone, lt.left == 0, held
 }
 
 // release returns every cell the worker still holds to pending — called
@@ -179,4 +187,30 @@ func (lt *leaseTable) remaining() int {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	return lt.left
+}
+
+// leaseStats is one consistent view of the table, for the progress
+// endpoint and the metrics scrape.
+type leaseStats struct {
+	done, leased, pending int
+	byWorker              map[string]int // currently leased cells per holder
+}
+
+// stats snapshots the lease lifecycle counts under one lock hold.
+func (lt *leaseTable) stats() leaseStats {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	st := leaseStats{byWorker: make(map[string]int)}
+	for i, s := range lt.state {
+		switch s {
+		case cellDone:
+			st.done++
+		case cellLeased:
+			st.leased++
+			st.byWorker[lt.worker[i]]++
+		default:
+			st.pending++
+		}
+	}
+	return st
 }

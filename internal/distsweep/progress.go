@@ -1,0 +1,237 @@
+package distsweep
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+
+	"ripki/internal/obs"
+)
+
+// This file is the coordinator's live observability surface: a typed
+// Progress report (GET /progress and the ripki-sweep -status renderer),
+// a Prometheus scrape of the same state (GET /metrics), and an optional
+// pprof mount. Everything reads the coordinator's existing bookkeeping;
+// none of it is on the lease or partial-acceptance path.
+
+// ProgressCells breaks the plan's cells down by lease lifecycle state.
+type ProgressCells struct {
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Leased    int `json:"leased"`
+	Pending   int `json:"pending"`
+	// Resumed counts completed cells that were loaded from the
+	// checkpoint journal rather than computed this run.
+	Resumed int `json:"resumed"`
+}
+
+// ProgressWorker is one worker's live standing. Workers are identified
+// by their connection's remote address.
+type ProgressWorker struct {
+	Name      string `json:"name"`
+	Connected bool   `json:"connected"`
+	// Leased is the number of cells the worker currently holds.
+	Leased int `json:"leased"`
+	// Completed is the number of cells this worker delivered first.
+	Completed int `json:"completed"`
+	// CellsPerSecond is the worker's lease throughput: completed cells
+	// over its connected lifetime.
+	CellsPerSecond float64 `json:"cells_per_second"`
+	// ConnectedSeconds is the lifetime that throughput is measured over
+	// (frozen at disconnect).
+	ConnectedSeconds float64 `json:"connected_seconds"`
+}
+
+// ProgressCheckpoint reports journal durability (present only when the
+// coordinator checkpoints).
+type ProgressCheckpoint struct {
+	// Journaled counts cells durably recorded (including resumed ones).
+	Journaled int `json:"journaled"`
+	// Lag is completed-but-not-yet-journaled cells. The journal write
+	// happens before a cell is marked done, so this self-check gauge is
+	// 0 except in the instant between those two steps.
+	Lag int `json:"lag"`
+	// LastWriteAgeSeconds is the age of the newest journal record this
+	// run (-1 before the first write).
+	LastWriteAgeSeconds float64 `json:"last_write_age_seconds"`
+}
+
+// Progress is the GET /progress body: one consistent view of a running
+// (or finished) distributed sweep.
+type Progress struct {
+	PlanHash      string           `json:"plan_hash"`
+	Streaming     bool             `json:"streaming"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Cells         ProgressCells    `json:"cells"`
+	Workers       []ProgressWorker `json:"workers"`
+	// RateCellsPerSecond is live throughput: cells completed this run
+	// (resumed ones excluded) over the coordinator's uptime.
+	RateCellsPerSecond float64 `json:"rate_cells_per_second"`
+	// ETASeconds extrapolates the live rate over the remaining cells;
+	// -1 while the rate is still zero.
+	ETASeconds float64             `json:"eta_seconds"`
+	Checkpoint *ProgressCheckpoint `json:"checkpoint,omitempty"`
+	Done       bool                `json:"done"`
+}
+
+// Progress snapshots the sweep's standing. Safe from any goroutine.
+func (c *Coordinator) Progress() Progress {
+	st := c.leases.stats()
+	uptime := time.Since(c.started)
+
+	p := Progress{
+		PlanHash:      c.hash,
+		Streaming:     c.cfg.Streaming,
+		UptimeSeconds: uptime.Seconds(),
+		Cells: ProgressCells{
+			Total:     len(c.plan.Cells),
+			Completed: st.done,
+			Leased:    st.leased,
+			Pending:   st.pending,
+			Resumed:   c.resumed,
+		},
+		Done: st.done == len(c.plan.Cells),
+	}
+
+	c.mu.Lock()
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	now := time.Now()
+	for _, name := range names {
+		ws := c.workers[name]
+		w := ProgressWorker{
+			Name:      name,
+			Connected: ws.connected,
+			Leased:    st.byWorker[name],
+			Completed: ws.completed,
+		}
+		lifetime := now.Sub(ws.since)
+		if !ws.connected {
+			lifetime = ws.last.Sub(ws.since)
+		}
+		if lifetime > 0 {
+			w.CellsPerSecond = float64(ws.completed) / lifetime.Seconds()
+		}
+		w.ConnectedSeconds = lifetime.Seconds()
+		p.Workers = append(p.Workers, w)
+	}
+	journaled, lastJournal := c.journaled, c.lastJournal
+	c.mu.Unlock()
+
+	live := st.done - c.resumed
+	if live > 0 && uptime > 0 {
+		p.RateCellsPerSecond = float64(live) / uptime.Seconds()
+	}
+	remaining := len(c.plan.Cells) - st.done
+	switch {
+	case remaining == 0:
+		p.ETASeconds = 0
+	case p.RateCellsPerSecond > 0:
+		p.ETASeconds = float64(remaining) / p.RateCellsPerSecond
+	default:
+		p.ETASeconds = -1
+	}
+
+	if c.journal != nil {
+		cp := &ProgressCheckpoint{Journaled: journaled, Lag: st.done - journaled, LastWriteAgeSeconds: -1}
+		if cp.Lag < 0 {
+			cp.Lag = 0
+		}
+		if !lastJournal.IsZero() {
+			cp.LastWriteAgeSeconds = time.Since(lastJournal).Seconds()
+		}
+		p.Checkpoint = cp
+	}
+	return p
+}
+
+// Handler returns the coordinator's HTTP surface: GET /progress (the
+// Progress JSON), GET /metrics (Prometheus text), and — when pprof is
+// set — the runtime profiles under /debug/pprof/.
+func (c *Coordinator) Handler(pprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Progress())
+	})
+	mux.Handle("GET /metrics", c.reg.Handler())
+	if pprof {
+		obs.RegisterPprof(mux)
+	}
+	return mux
+}
+
+// buildRegistry wires the coordinator's scrape document. Static
+// instruments (counters, the cell-duration histogram) are fed by the
+// protocol path; everything else is computed from live state at scrape
+// time.
+func (c *Coordinator) buildRegistry() {
+	r := obs.NewRegistry()
+	r.GaugeFunc("ripki_sweep_uptime_seconds", "Seconds since the coordinator started.",
+		func() float64 { return time.Since(c.started).Seconds() })
+	r.GaugeFunc("ripki_sweep_cells_total", "Cells in the expanded plan.",
+		func() float64 { return float64(len(c.plan.Cells)) })
+	r.GaugeFunc("ripki_sweep_cells_completed", "Cells with an accepted partial (including resumed ones).",
+		func() float64 { return float64(c.leases.stats().done) })
+	r.GaugeFunc("ripki_sweep_cells_leased", "Cells currently leased to workers.",
+		func() float64 { return float64(c.leases.stats().leased) })
+	r.GaugeFunc("ripki_sweep_cells_pending", "Cells waiting for a worker.",
+		func() float64 { return float64(c.leases.stats().pending) })
+	r.GaugeFunc("ripki_sweep_cells_resumed", "Completed cells loaded from the checkpoint journal at startup.",
+		func() float64 { return float64(c.resumed) })
+	r.GaugeFunc("ripki_sweep_workers_connected", "Workers currently connected.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			n := 0
+			for _, ws := range c.workers {
+				if ws.connected {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	r.GaugeFunc("ripki_sweep_checkpoint_journaled_cells", "Cells durably journaled (0 when not checkpointing).",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.journaled)
+		})
+	c.partialsTotal = r.Counter("ripki_sweep_partials_received_total", "Partial frames accepted from workers (including duplicates).")
+	c.duplicates = r.Counter("ripki_sweep_duplicate_partials_total", "Partials for already-completed cells (expired-but-alive leases).")
+	c.cellSeconds = r.Histogram("ripki_sweep_cell_seconds", "Lease-grant to partial-acceptance time per completed cell.",
+		obs.ExpBuckets(0.01, 4, 10))
+	c.reg = r
+}
+
+// workerConnected registers a worker after its hello handshake.
+func (c *Coordinator) workerConnected(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[name] = &workerStat{connected: true, since: time.Now()}
+}
+
+// workerDisconnected freezes the worker's lifetime clock.
+func (c *Coordinator) workerDisconnected(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ws, ok := c.workers[name]; ok {
+		ws.connected = false
+		ws.last = time.Now()
+	}
+}
+
+// creditWorker counts one first-delivered cell for the worker.
+func (c *Coordinator) creditWorker(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ws, ok := c.workers[name]; ok {
+		ws.completed++
+	}
+}

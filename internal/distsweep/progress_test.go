@@ -1,0 +1,177 @@
+package distsweep
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ripki/internal/sweep"
+)
+
+// progressGet hits the coordinator's handler and decodes the body.
+func progressGet(t *testing.T, c *Coordinator) Progress {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	c.Handler(false).ServeHTTP(rec, httptest.NewRequest("GET", "/progress", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/progress: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var p Progress
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("progress body: %v\n%s", err, rec.Body.String())
+	}
+	return p
+}
+
+// TestProgressBeforeAndAfterRun: a fresh coordinator reports everything
+// pending; a finished one reports everything completed, per-worker
+// credit, and a zero ETA.
+func TestProgressLifecycle(t *testing.T) {
+	g := distGrid()
+	cfg := CoordinatorConfig{Grid: g}
+	coord, err := NewCoordinator("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := progressGet(t, coord)
+	total := len(coord.Plan().Cells)
+	if p.Cells.Total != total || p.Cells.Pending != total || p.Cells.Completed != 0 {
+		t.Fatalf("fresh coordinator: %+v", p.Cells)
+	}
+	if p.Done || p.ETASeconds != -1 {
+		t.Fatalf("fresh coordinator: done=%v eta=%v", p.Done, p.ETASeconds)
+	}
+	if p.PlanHash == "" || p.Checkpoint != nil {
+		t.Fatalf("fresh coordinator: hash=%q checkpoint=%v", p.PlanHash, p.Checkpoint)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		err := Work(ctx, coord.Addr(), WorkerConfig{Options: sweep.Options{Workers: 2, ShareWorlds: true}})
+		done <- err
+	}()
+	if _, err := coord.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	p = progressGet(t, coord)
+	if !p.Done || p.Cells.Completed != total || p.ETASeconds != 0 {
+		t.Fatalf("finished coordinator: %+v", p)
+	}
+	if p.RateCellsPerSecond <= 0 {
+		t.Fatalf("no live rate after a full run: %+v", p)
+	}
+	var credited int
+	for _, w := range p.Workers {
+		credited += w.Completed
+		if w.Completed > 0 && w.CellsPerSecond <= 0 {
+			t.Errorf("worker %s has completions but no throughput: %+v", w.Name, w)
+		}
+	}
+	if credited != total {
+		t.Fatalf("worker credit sums to %d, want %d", credited, total)
+	}
+}
+
+// TestProgressCheckpoint: with a journal, resumed cells are reported and
+// excluded from the live rate, and the lag self-check reads 0.
+func TestProgressCheckpoint(t *testing.T) {
+	g := distGrid()
+	dir := t.TempDir()
+	runDistributed(t, g, false, 1, CoordinatorConfig{CheckpointDir: dir})
+
+	// Second coordinator over the same journal: fully resumed.
+	coord, err := NewCoordinator("127.0.0.1:0", CoordinatorConfig{Grid: g, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.ln.Close()
+	p := progressGet(t, coord)
+	total := len(coord.Plan().Cells)
+	if p.Cells.Resumed != total || p.Cells.Completed != total || !p.Done {
+		t.Fatalf("resumed coordinator: %+v", p)
+	}
+	if p.Checkpoint == nil || p.Checkpoint.Journaled != total || p.Checkpoint.Lag != 0 {
+		t.Fatalf("checkpoint report: %+v", p.Checkpoint)
+	}
+	if p.RateCellsPerSecond != 0 {
+		t.Fatalf("resumed cells counted as live throughput: %+v", p)
+	}
+	// ETA for a finished sweep is 0 even with zero live rate.
+	if p.ETASeconds != 0 {
+		t.Fatalf("eta=%v for a complete sweep", p.ETASeconds)
+	}
+}
+
+// TestCoordinatorMetrics: the scrape endpoint carries the sweep gauges
+// and the protocol counters.
+func TestCoordinatorMetrics(t *testing.T) {
+	g := distGrid()
+	cfg := CoordinatorConfig{Grid: g}
+	coord, err := NewCoordinator("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- Work(ctx, coord.Addr(), WorkerConfig{Options: sweep.Options{Workers: 2, ShareWorlds: true}})
+	}()
+	if _, err := coord.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	coord.Handler(false).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	n := strconv.Itoa(len(coord.Plan().Cells))
+	for _, want := range []string{
+		"# TYPE ripki_sweep_cells_total gauge",
+		"ripki_sweep_cells_total " + n,
+		"ripki_sweep_cells_completed " + n,
+		"ripki_sweep_cells_pending 0",
+		"ripki_sweep_workers_connected 0", // run over, worker gone
+		"ripki_sweep_partials_received_total " + n,
+		"ripki_sweep_cell_seconds_count " + n,
+		"ripki_sweep_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestProgressPprofGate: the pprof mount is opt-in.
+func TestProgressPprofGate(t *testing.T) {
+	coord, err := NewCoordinator("127.0.0.1:0", CoordinatorConfig{Grid: distGrid()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.ln.Close()
+	rec := httptest.NewRecorder()
+	coord.Handler(false).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 404 {
+		t.Fatalf("pprof served without opt-in: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	coord.Handler(true).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("pprof opt-in not mounted: %d", rec.Code)
+	}
+}

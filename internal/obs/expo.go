@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is the Prometheus text exposition format (version 0.0.4)
+// itself: name validation, label-value escaping, float rendering, and
+// the Encoder that writes families and samples in the order the format
+// requires. The Registry is built on it; subsystems with their own
+// lock-free accumulators (internal/serve's per-endpoint atomics) use it
+// directly through a Collector.
+
+var (
+	// metricNameRE is the exposition format's metric name grammar.
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	// labelNameRE is the label name grammar; "__"-prefixed names are
+	// additionally reserved for Prometheus internals.
+	labelNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ValidMetricName reports whether s is a legal exposition metric name.
+func ValidMetricName(s string) bool { return metricNameRE.MatchString(s) }
+
+// ValidLabelName reports whether s is a legal, non-reserved label name.
+func ValidLabelName(s string) bool {
+	return labelNameRE.MatchString(s) && !strings.HasPrefix(s, "__")
+}
+
+// labelValueEscaper escapes a label value per the format: backslash,
+// double-quote and newline.
+var labelValueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper escapes HELP text: backslash and newline only (quotes are
+// legal there).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest round-trippable decimal, with the special values spelled
+// +Inf/-Inf/NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Label is one name="value" pair on a sample. Order is the caller's —
+// the encoder renders labels exactly as given, so a fixed instrument
+// vocabulary yields byte-stable output.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Metric type strings accepted by Encoder.Family.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+	TypeUntyped   = "untyped"
+)
+
+// Encoder writes one exposition document: families opened with Family,
+// each followed by its samples. Invalid metric or label names panic —
+// the instrumentation vocabulary is fixed at compile time, so a bad
+// name is a typo best caught by the first test that scrapes it (the
+// same contract serve's instrument() already uses). I/O errors are
+// sticky and reported by Err.
+type Encoder struct {
+	w    io.Writer
+	err  error
+	seen map[string]bool
+	cur  string // current family name, "" before the first Family
+}
+
+// NewEncoder starts an exposition document on w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (e *Encoder) Err() error { return e.err }
+
+func (e *Encoder) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Family opens a metric family: one # HELP and # TYPE line pair. The
+// format requires every sample of a family to be contiguous, so opening
+// the same family twice in one document panics (it would silently
+// corrupt the scrape).
+func (e *Encoder) Family(name, help, typ string) {
+	if !ValidMetricName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	switch typ {
+	case TypeCounter, TypeGauge, TypeHistogram, TypeUntyped:
+	default:
+		panic("obs: invalid metric type " + strconv.Quote(typ) + " for " + name)
+	}
+	if e.seen[name] {
+		panic("obs: family " + name + " emitted twice in one exposition")
+	}
+	e.seen[name] = true
+	e.cur = name
+	e.printf("# HELP %s %s\n", name, helpEscaper.Replace(help))
+	e.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one sample of the current family. suffix is appended to
+// the family name ("" for plain counters and gauges; "_bucket", "_sum",
+// "_count" for histogram series).
+func (e *Encoder) Sample(suffix string, labels []Label, value float64) {
+	if e.cur == "" {
+		panic("obs: Sample before Family")
+	}
+	name := e.cur + suffix
+	if !ValidMetricName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	e.printf("%s", name)
+	if len(labels) > 0 {
+		e.printf("{")
+		for i, l := range labels {
+			if !ValidLabelName(l.Name) {
+				panic("obs: invalid label name " + strconv.Quote(l.Name) + " on " + name)
+			}
+			if i > 0 {
+				e.printf(",")
+			}
+			e.printf(`%s="%s"`, l.Name, labelValueEscaper.Replace(l.Value))
+		}
+		e.printf("}")
+	}
+	e.printf(" %s\n", formatValue(value))
+}
+
+// HistogramSample writes a full conventional histogram — cumulative
+// _bucket series (always ending in le="+Inf"), _sum, and _count — for
+// one child of the current family. cumulative[i] is the count of
+// observations ≤ bounds[i]; observations above the last bound appear
+// only in the +Inf bucket (= count).
+func (e *Encoder) HistogramSample(labels []Label, bounds []float64, cumulative []uint64, sum float64, count uint64) {
+	if len(bounds) != len(cumulative) {
+		panic("obs: histogram bounds/cumulative length mismatch")
+	}
+	withLE := make([]Label, len(labels)+1)
+	copy(withLE, labels)
+	for i, b := range bounds {
+		withLE[len(labels)] = Label{Name: "le", Value: formatValue(b)}
+		e.Sample("_bucket", withLE, float64(cumulative[i]))
+	}
+	withLE[len(labels)] = Label{Name: "le", Value: "+Inf"}
+	e.Sample("_bucket", withLE, float64(count))
+	e.Sample("_sum", labels, sum)
+	e.Sample("_count", labels, float64(count))
+}

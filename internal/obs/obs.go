@@ -1,0 +1,20 @@
+// Package obs is the shared observability layer: a dependency-free
+// Prometheus text-format metrics registry, a deterministic trace
+// recorder for the sim engine, and the pprof wiring every daemon
+// mounts behind an opt-in flag.
+//
+// Three design rules hold everywhere:
+//
+//   - No external dependencies. The exposition format (version 0.0.4)
+//     is small enough to emit — and, in tests, parse — by hand; pulling
+//     in a client library for it would be the only dependency in the
+//     module.
+//   - Scrapes never perturb the hot path. Instruments are atomics;
+//     callers that already keep lock-free accumulators (internal/serve)
+//     render them at scrape time through a Collector instead of
+//     double-counting into registry instruments.
+//   - Traces are deterministic. Trace events carry virtual-clock
+//     timestamps only, and every export renders with a fixed field
+//     order, so the same seed produces byte-identical trace files —
+//     which lets trace output ride the repo's determinism gates.
+package obs

@@ -318,21 +318,11 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{"ok", sn.Serial, sn.Index.Len()})
 }
 
+// handleMetrics is the Prometheus scrape endpoint (text exposition
+// format 0.0.4): uptime, snapshot identity, per-source staleness gauges,
+// and the per-endpoint request counters and latency histograms. The
+// scrape only loads atomics; it never contends with the query path.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	body := struct {
-		UptimeSeconds float64                  `json:"uptime_seconds"`
-		Serial        uint64                   `json:"serial"`
-		VRPs          int                      `json:"vrps"`
-		Domains       int                      `json:"domains"`
-		Endpoints     map[string]EndpointStats `json:"endpoints"`
-	}{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Endpoints:     s.metrics.snapshotStats(),
-	}
-	if sn := s.Current(); sn != nil {
-		body.Serial = sn.Serial
-		body.VRPs = sn.Index.Len()
-		body.Domains = sn.Domains.Len()
-	}
-	writeJSON(w, http.StatusOK, body)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteTo(w)
 }

@@ -3,23 +3,34 @@ package serve
 import (
 	"math"
 	"math/bits"
+	"sort"
 	"sync/atomic"
 	"time"
 
-	"ripki/internal/stats"
+	"ripki/internal/obs"
 )
 
 // The metrics layer must not reintroduce a lock on the read path, so it
 // is built entirely from atomics: per-endpoint request/error counters
-// and a log₂-bucketed latency histogram. Count, sum, min and max are
-// exact; the p50/p95/p99 read out of the histogram are bucket-resolution
-// estimates (each bucket spans one power of two of nanoseconds, with
-// linear interpolation inside the bucket), rendered in stats.Summary's
-// shape so every quantile surface in the repo reads the same.
+// and a log₂-bucketed latency histogram. The accumulators render into
+// the Prometheus text exposition at scrape time through an obs.Collector
+// — a scrape reads the atomics, it never makes a request handler wait.
 
-// latBuckets spans 1ns .. ~17min in powers of two; observations beyond
+// latBuckets spans 1ns .. ~9min in powers of two; observations beyond
 // the last bound clamp into the final bucket.
 const latBuckets = 40
+
+// latBounds are the exposition's histogram upper bounds: 2^i nanoseconds
+// rendered in seconds, one per raw bucket. Raw bucket i holds
+// observations in [2^(i-1), 2^i) ns, so the cumulative count for
+// le=2^i/1e9 is the sum of raw buckets 0..i.
+var latBounds = func() []float64 {
+	out := make([]float64, latBuckets)
+	for i := range out {
+		out[i] = float64(uint64(1)<<uint(i)) / 1e9
+	}
+	return out
+}()
 
 // endpointMetrics is one endpoint's lock-free accumulator.
 type endpointMetrics struct {
@@ -67,73 +78,22 @@ func (m *endpointMetrics) observe(d time.Duration, status int) {
 	m.buckets[idx].Add(1)
 }
 
-// latencySummary renders the accumulator as a stats.Summary in seconds.
-// Count/min/max/mean are exact; quantiles are histogram estimates.
-func (m *endpointMetrics) latencySummary() stats.Summary {
-	count := m.count.Load()
-	if count == 0 {
-		return stats.Summarize(nil)
+// histogram renders the accumulator in exposition shape: cumulative
+// counts per latBounds entry, sum in seconds, and the total. Concurrent
+// observers may have bumped count but not yet their bucket (or vice
+// versa); Prometheus tolerates that skew by design.
+func (m *endpointMetrics) histogram() (cumulative []uint64, sum float64, count uint64) {
+	cumulative = make([]uint64, latBuckets)
+	var cum uint64
+	for i := range cumulative {
+		cum += m.buckets[i].Load()
+		cumulative[i] = cum
 	}
-	var counts [latBuckets]uint64
-	var total uint64
-	for i := range counts {
-		counts[i] = m.buckets[i].Load()
-		total += counts[i]
-	}
-	// Concurrent observers may have bumped count but not yet their
-	// bucket (or vice versa); quantiles use the bucket total so the
-	// cumulative walk is self-consistent. The same race can expose the
-	// min sentinel before the first observation's CAS lands — report
-	// the endpoint as empty rather than a 2^64ns minimum.
-	minNS, maxNS := m.minNS.Load(), m.maxNS.Load()
-	if minNS == math.MaxUint64 {
-		return stats.Summarize(nil)
-	}
-	s := stats.Summary{
-		Count: int(count),
-		Min:   float64(minNS) / 1e9,
-		Max:   float64(maxNS) / 1e9,
-		Mean:  float64(m.sumNS.Load()) / float64(count) / 1e9,
-	}
-	s.P50 = histQuantile(&counts, total, 0.50, minNS, maxNS)
-	s.P95 = histQuantile(&counts, total, 0.95, minNS, maxNS)
-	s.P99 = histQuantile(&counts, total, 0.99, minNS, maxNS)
-	return s
+	return cumulative, float64(m.sumNS.Load()) / 1e9, m.count.Load()
 }
 
-// histQuantile walks the cumulative histogram to the q-th observation
-// and interpolates linearly inside its bucket, clamped to the observed
-// [min, max]. Resolution is the bucket width (a factor of two).
-func histQuantile(counts *[latBuckets]uint64, total uint64, q float64, minNS, maxNS uint64) float64 {
-	if total == 0 {
-		return math.NaN()
-	}
-	target := q * float64(total)
-	var cum float64
-	for i := range counts {
-		c := float64(counts[i])
-		if c == 0 {
-			continue
-		}
-		if cum+c >= target {
-			lo := 0.0
-			if i > 0 {
-				lo = float64(uint64(1) << (i - 1))
-			}
-			hi := float64(uint64(1) << i)
-			frac := (target - cum) / c
-			ns := lo + frac*(hi-lo)
-			ns = math.Max(ns, float64(minNS))
-			ns = math.Min(ns, float64(maxNS))
-			return ns / 1e9
-		}
-		cum += c
-	}
-	return float64(maxNS) / 1e9
-}
-
-// metrics is the service-wide registry. The endpoint map is fixed at
-// construction, so lookups never need a lock.
+// metrics is the service-wide accumulator set. The endpoint map is fixed
+// at construction, so lookups never need a lock.
 type metrics struct {
 	endpoints map[string]*endpointMetrics
 }
@@ -150,22 +110,94 @@ func newMetrics() *metrics {
 	return m
 }
 
-// EndpointStats is one endpoint's externally visible counters.
-type EndpointStats struct {
-	Count   uint64        `json:"count"`
-	Errors  uint64        `json:"errors"`
-	Latency stats.Summary `json:"latency_seconds"`
+// collect renders the per-endpoint accumulators into a scrape, in the
+// vocabulary's declaration order (byte-stable output).
+func (m *metrics) collect(e *obs.Encoder) {
+	e.Family("ripki_serve_requests_total", "Requests served, by endpoint.", obs.TypeCounter)
+	for _, name := range endpointNames {
+		e.Sample("", []obs.Label{{Name: "endpoint", Value: name}}, float64(m.endpoints[name].count.Load()))
+	}
+	e.Family("ripki_serve_request_errors_total", "Responses with status >= 400, by endpoint.", obs.TypeCounter)
+	for _, name := range endpointNames {
+		e.Sample("", []obs.Label{{Name: "endpoint", Value: name}}, float64(m.endpoints[name].errors.Load()))
+	}
+	e.Family("ripki_serve_request_duration_seconds", "Request latency, by endpoint (power-of-two buckets).", obs.TypeHistogram)
+	for _, name := range endpointNames {
+		cum, sum, count := m.endpoints[name].histogram()
+		e.HistogramSample([]obs.Label{{Name: "endpoint", Value: name}}, latBounds, cum, sum, count)
+	}
 }
 
-// snapshotStats collects every endpoint's counters.
-func (m *metrics) snapshotStats() map[string]EndpointStats {
-	out := make(map[string]EndpointStats, len(m.endpoints))
-	for name, em := range m.endpoints {
-		out[name] = EndpointStats{
-			Count:   em.count.Load(),
-			Errors:  em.errors.Load(),
-			Latency: em.latencySummary(),
-		}
+// sourceStat tracks one update source's last publish, for the staleness
+// gauges. Fields are atomics: Publish writes under pubMu, scrapes read
+// from any goroutine.
+type sourceStat struct {
+	lastNS atomic.Int64
+	serial atomic.Uint32
+}
+
+// buildRegistry assembles the service's scrape document: uptime, the
+// snapshot identity and staleness gauges (computed from live state at
+// scrape time), the per-source staleness gauges, and the per-endpoint
+// request accumulators.
+func (s *Service) buildRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.GaugeFunc("ripki_serve_uptime_seconds", "Seconds since the service started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.Collect(s.collectSnapshot)
+	r.Collect(s.metrics.collect)
+	return r
+}
+
+// collectSnapshot renders the snapshot and per-source staleness gauges.
+func (s *Service) collectSnapshot(e *obs.Encoder) {
+	sn := s.Current()
+	var serial, vrps, domains float64
+	if sn != nil {
+		serial = float64(sn.Serial)
+		vrps = float64(sn.Index.Len())
+		domains = float64(sn.Domains.Len())
 	}
-	return out
+	e.Family("ripki_serve_snapshot_serial", "Serial of the published snapshot (0 before the first publish).", obs.TypeGauge)
+	e.Sample("", nil, serial)
+	e.Family("ripki_serve_snapshot_vrps", "VRPs in the published snapshot.", obs.TypeGauge)
+	e.Sample("", nil, vrps)
+	e.Family("ripki_serve_snapshot_domains", "Domains in the exposure table.", obs.TypeGauge)
+	e.Sample("", nil, domains)
+
+	e.Family("ripki_serve_snapshot_age_seconds", "Seconds since the last snapshot publish, any source (staleness).", obs.TypeGauge)
+	if at := s.publishedAt.Load(); at != 0 {
+		e.Sample("", nil, time.Since(time.Unix(0, at)).Seconds())
+	}
+
+	names := make([]string, 0, 4)
+	s.sources.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	e.Family("ripki_serve_source_update_age_seconds", "Seconds since each update source last published (per-source staleness).", obs.TypeGauge)
+	for _, name := range names {
+		st, _ := s.sources.Load(name)
+		age := time.Since(time.Unix(0, st.(*sourceStat).lastNS.Load())).Seconds()
+		e.Sample("", []obs.Label{{Name: "source", Value: name}}, age)
+	}
+	e.Family("ripki_serve_source_serial", "Each update source's own serial at its last publish (RTR cache serial, sim tick).", obs.TypeGauge)
+	for _, name := range names {
+		st, _ := s.sources.Load(name)
+		e.Sample("", []obs.Label{{Name: "source", Value: name}}, float64(st.(*sourceStat).serial.Load()))
+	}
+}
+
+// recordPublish updates the staleness trackers; called under pubMu.
+func (s *Service) recordPublish(source string, sourceSerial uint32) {
+	now := time.Now().UnixNano()
+	s.publishedAt.Store(now)
+	v, ok := s.sources.Load(source)
+	if !ok {
+		v, _ = s.sources.LoadOrStore(source, &sourceStat{})
+	}
+	st := v.(*sourceStat)
+	st.lastNS.Store(now)
+	st.serial.Store(sourceSerial)
 }

@@ -22,8 +22,9 @@
 // RFC 6811 origin validation with covering VRPs and the snapshot
 // serial), GET /v1/domain/{name} (per-domain exposure verdict à la the
 // paper's figures), GET /v1/domains, GET /v1/snapshot, GET /healthz,
-// and GET /metrics (lock-free request counters and latency quantiles
-// rendered as internal/stats summaries).
+// and GET /metrics (Prometheus text exposition: request counters and
+// latency histograms per endpoint, snapshot identity, and per-source
+// staleness gauges — rendered from lock-free accumulators).
 package serve
 
 import (
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"ripki/internal/measure"
+	"ripki/internal/obs"
 	"ripki/internal/rib"
 	"ripki/internal/rpki/vrp"
 	"ripki/internal/webworld"
@@ -189,9 +191,16 @@ func (sn *Snapshot) variantVerdict(name string, pairs []rib.PrefixOrigin, resolv
 type Service struct {
 	domains *DomainTable
 	metrics *metrics
+	reg     *obs.Registry
 	start   time.Time
 
 	snap atomic.Pointer[Snapshot]
+
+	// Staleness trackers behind GET /metrics: when the service last
+	// published at all, and when (and at what source serial) each source
+	// last did. Written under pubMu; read atomically at scrape time.
+	publishedAt atomic.Int64
+	sources     sync.Map // source name → *sourceStat
 
 	// pubMu serialises writers so serials and snapshots advance
 	// together. Readers never touch it.
@@ -206,7 +215,9 @@ func New(domains *DomainTable) *Service {
 	if domains == nil {
 		domains = &DomainTable{}
 	}
-	return &Service{domains: domains, metrics: newMetrics(), start: time.Now()}
+	s := &Service{domains: domains, metrics: newMetrics(), start: time.Now()}
+	s.reg = s.buildRegistry()
+	return s
 }
 
 // NewFromWorld builds the domain table from a generated world, then
@@ -249,6 +260,7 @@ func (s *Service) Publish(vs []vrp.VRP, source string, sourceSerial uint32) (*Sn
 		Exposure:     s.domains.exposure(ix),
 	}
 	s.snap.Store(sn)
+	s.recordPublish(source, sourceSerial)
 	return sn, nil
 }
 

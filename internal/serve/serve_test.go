@@ -242,6 +242,20 @@ func TestSnapshotEndpointAndExposure(t *testing.T) {
 	}
 }
 
+// scrape fetches /metrics raw (the body is Prometheus text, not JSON).
+func scrape(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	return rec.Body.String()
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	s := testService(t)
 	h := s.Handler()
@@ -249,22 +263,53 @@ func TestMetricsEndpoint(t *testing.T) {
 		do(t, h, "GET", "/healthz", "")
 	}
 	do(t, h, "POST", "/v1/validate", `{`) // one 400
-	_, body := do(t, h, "GET", "/metrics", "")
-	eps := body["endpoints"].(map[string]any)
-	hz := eps["healthz"].(map[string]any)
-	if hz["count"].(float64) != 5 {
-		t.Fatalf("healthz count = %v, want 5", hz["count"])
+	body := scrape(t, h)
+	for _, want := range []string{
+		"# TYPE ripki_serve_requests_total counter",
+		`ripki_serve_requests_total{endpoint="healthz"} 5`,
+		`ripki_serve_requests_total{endpoint="validate"} 1`,
+		`ripki_serve_request_errors_total{endpoint="validate"} 1`,
+		`ripki_serve_request_errors_total{endpoint="healthz"} 0`,
+		"# TYPE ripki_serve_request_duration_seconds histogram",
+		`ripki_serve_request_duration_seconds_bucket{endpoint="healthz",le="+Inf"} 5`,
+		`ripki_serve_request_duration_seconds_count{endpoint="healthz"} 5`,
+		"ripki_serve_snapshot_serial 1",
+		"ripki_serve_snapshot_age_seconds",
+		"ripki_serve_uptime_seconds",
+		// NewFromWorld publishes the world's own payloads as source
+		// "world" with source serial 0.
+		`ripki_serve_source_update_age_seconds{source="world"}`,
+		`ripki_serve_source_serial{source="world"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
 	}
-	val := eps["validate"].(map[string]any)
-	if val["count"].(float64) != 1 || val["errors"].(float64) != 1 {
-		t.Fatalf("validate counters: %v", val)
+	if strings.Contains(body, "ripki_serve_snapshot_vrps 0\n") {
+		t.Error("snapshot VRP gauge is zero for a published world")
 	}
-	lat := hz["latency_seconds"].(map[string]any)
-	if lat["count"].(float64) != 5 || lat["p99"] == nil {
-		t.Fatalf("latency summary: %v", lat)
+
+	// A second source appears with its own staleness gauge; the snapshot
+	// gauges follow the new publish.
+	if _, err := s.Publish(nil, "csv", 7); err != nil {
+		t.Fatal(err)
 	}
-	if lat["min"].(float64) > lat["p50"].(float64) || lat["p50"].(float64) > lat["max"].(float64) {
-		t.Fatalf("latency quantiles unordered: %v", lat)
+	body = scrape(t, h)
+	for _, want := range []string{
+		"ripki_serve_snapshot_serial 2",
+		"ripki_serve_snapshot_vrps 0",
+		`ripki_serve_source_serial{source="csv"} 7`,
+		`ripki_serve_source_update_age_seconds{source="csv"}`,
+		`ripki_serve_source_serial{source="world"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("second scrape missing %q", want)
+		}
+	}
+	// The scrape endpoint instruments itself.
+	body = scrape(t, h)
+	if !strings.Contains(body, `ripki_serve_requests_total{endpoint="metrics"} 2`) {
+		t.Error("metrics endpoint not self-instrumented")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"ripki/internal/bgp"
 	"ripki/internal/dns"
 	"ripki/internal/measure"
+	"ripki/internal/obs"
 	"ripki/internal/rib"
 	"ripki/internal/router"
 	"ripki/internal/rpki/vrp"
@@ -88,6 +89,9 @@ type Simulation struct {
 	headCut    int
 	hijacks    []*Hijack
 	closed     bool
+
+	trace       *obs.Trace
+	hijackStart map[string]time.Duration
 }
 
 // New builds a simulation: generates (or adopts) the world, validates
@@ -349,6 +353,7 @@ func (s *Simulation) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.closeTrace()
 	for _, rp := range s.RPs {
 		if rp.Client != nil {
 			rp.Client.Close()
@@ -490,6 +495,9 @@ func (s *Simulation) WithdrawRoute(prefix netip.Prefix, detail string) {
 func (s *Simulation) StartHijack(h Hijack) {
 	hh := h
 	s.hijacks = append(s.hijacks, &hh)
+	if s.trace != nil {
+		s.hijackStart[h.Name] = s.T()
+	}
 	s.AnnounceRoute(h.Prefix, h.Path, "hijack "+h.Name)
 }
 
@@ -499,6 +507,10 @@ func (s *Simulation) EndHijack(name string) {
 		if h.Name == name {
 			s.WithdrawRoute(h.Prefix, "hijack "+name+" ends")
 			s.hijacks = append(s.hijacks[:i], s.hijacks[i+1:]...)
+			if start, ok := s.hijackStart[name]; ok {
+				s.trace.Span(start, s.T()-start, "hijack", name)
+				delete(s.hijackStart, name)
+			}
 			return
 		}
 	}
@@ -593,7 +605,17 @@ func (s *Simulation) probe() {
 		row = append(row, float64(hijacked))
 	}
 	s.Series.Add(row)
-	s.Publish(TopicSample, fmt.Sprintf("tick=%d valid=%.4f hijacks=%d", s.tick, snap.Valid, len(s.hijacks)), nil)
+	s.Publish(TopicSample, fmt.Sprintf("tick=%d valid=%.4f hijacks=%d", s.tick, snap.Valid, len(s.hijacks)),
+		SampleData{
+			Tick:     s.tick,
+			Serial:   s.Server.Serial(),
+			VRPs:     len(s.truth),
+			Valid:    snap.Valid,
+			Invalid:  snap.Invalid,
+			NotFound: snap.NotFound,
+			Coverage: snap.Coverage,
+			Hijacks:  len(s.hijacks),
+		})
 }
 
 // sortVRPs orders VRPs by (prefix, maxLength, ASN) — the same total

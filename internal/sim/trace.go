@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"time"
+
+	"ripki/internal/obs"
+)
+
+// SampleData is the typed payload on TopicSample events: the headline
+// numbers of one probe row, for programmatic subscribers (tracing, live
+// dashboards) that should not re-parse the detail string.
+type SampleData struct {
+	Tick     int
+	Serial   uint32
+	VRPs     int
+	Valid    float64
+	Invalid  float64
+	NotFound float64
+	Coverage float64
+	Hijacks  int
+}
+
+// AttachTrace records the run into tr: every bus event becomes an
+// instant on a lane named after its topic, each probe sample also feeds
+// the "validity" and "hijacks" counter tracks, and each hijack becomes a
+// span from announcement to withdrawal (hijacks still active when the
+// run closes span to the point the clock stopped). All timestamps are
+// virtual, so the export is byte-identical for the same seed and flags.
+//
+// Attach before Run. The trace is complete once Close has returned.
+func (s *Simulation) AttachTrace(tr *obs.Trace) {
+	s.trace = tr
+	s.hijackStart = make(map[string]time.Duration)
+	s.Bus.SubscribeAll(func(e Event) {
+		tr.Instant(e.T, string(e.Topic), e.Detail)
+		if sd, ok := e.Data.(SampleData); ok {
+			tr.Counter(e.T, "validity", map[string]float64{
+				"valid":    sd.Valid,
+				"invalid":  sd.Invalid,
+				"notfound": sd.NotFound,
+			})
+			tr.Counter(e.T, "hijacks", map[string]float64{"active": float64(sd.Hijacks)})
+		}
+	})
+}
+
+// closeTrace flushes spans for hijacks still active at shutdown, in
+// announcement order (the hijacks slice preserves it).
+func (s *Simulation) closeTrace() {
+	if s.trace == nil {
+		return
+	}
+	at := s.T()
+	if horizon := s.end.Sub(s.start); at > horizon {
+		at = horizon
+	}
+	for _, h := range s.hijacks {
+		if start, ok := s.hijackStart[h.Name]; ok {
+			s.trace.Span(start, at-start, "hijack", h.Name)
+			delete(s.hijackStart, h.Name)
+		}
+	}
+}

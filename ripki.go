@@ -43,6 +43,7 @@ import (
 	"ripki/internal/dns"
 	"ripki/internal/httparchive"
 	"ripki/internal/measure"
+	"ripki/internal/obs"
 	"ripki/internal/rpki/repo"
 	"ripki/internal/rpki/vrp"
 	"ripki/internal/rtr"
@@ -271,7 +272,17 @@ type (
 	SimComposite = sim.Composite
 	// TimeSeries is the per-tick simulation output.
 	TimeSeries = sim.TimeSeries
+	// SimSampleData is the typed payload on sample-topic SimEvents.
+	SimSampleData = sim.SampleData
+	// Trace is a deterministic structured trace recorder (attach to a
+	// Simulation with AttachTrace; export with WriteJSONL/WriteChrome).
+	Trace = obs.Trace
+	// TraceEvent is one recorded trace event.
+	TraceEvent = obs.TraceEvent
 )
+
+// NewTrace creates an empty trace recorder.
+func NewTrace() *Trace { return obs.NewTrace() }
 
 // NewSimulation builds a simulation: world, RTR cache, relying parties,
 // scenario. Run it, then Close it.
@@ -383,6 +394,13 @@ type (
 	// SweepCellPartial is one completed cell crossing the
 	// worker→coordinator wire.
 	SweepCellPartial = sweep.CellPartial
+	// DistProgress is a running distributed sweep's standing (the
+	// coordinator's GET /progress body and the -status renderer's
+	// input).
+	DistProgress = distsweep.Progress
+	// DistProgressWorker is one worker's live standing within a
+	// DistProgress report.
+	DistProgressWorker = distsweep.ProgressWorker
 )
 
 // NewDistCoordinator expands the grid, binds addr, and loads any

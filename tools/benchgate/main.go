@@ -7,6 +7,11 @@
 //	go test -run '^$' -bench 'BenchmarkSweep$' -benchmem -count 3 ./internal/sweep | \
 //	    go run ./tools/benchgate -check BENCH_baseline.json
 //	... | go run ./tools/benchgate -write BENCH_baseline.json
+//	... | go run ./tools/benchgate -check BENCH_baseline.json -json bench-report.json
+//
+// -check -json also writes the comparison as a machine-readable report
+// — per-benchmark baseline/current/ratio plus the pass/fail verdict —
+// written on both pass and fail so CI can archive it as an artifact.
 //
 // The gate fails (exit 1) when any baselined benchmark's ns/op or B/op
 // worsens by more than -threshold (default 0.30 = +30%), or when a
@@ -110,6 +115,75 @@ func Parse(r io.Reader) (map[string]Entry, error) {
 	return out, nil
 }
 
+// ReportBench is one baselined benchmark's comparison in the -json
+// artifact. Ratios are current/baseline (1.0 = unchanged); B/op fields
+// are -1 when the observation carried none.
+type ReportBench struct {
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	CurrentNsPerOp  float64 `json:"current_ns_per_op"`
+	NsRatio         float64 `json:"ns_ratio"`
+	BaselineBPerOp  float64 `json:"baseline_b_per_op"`
+	CurrentBPerOp   float64 `json:"current_b_per_op"`
+	BRatio          float64 `json:"b_ratio"`
+	// Missing marks a baselined benchmark absent from the input (always
+	// a gate failure); its current fields are -1.
+	Missing bool `json:"missing,omitempty"`
+}
+
+// Report is the machine-readable artifact -json writes after a -check
+// run — the same verdict the human-readable output renders, in a shape
+// CI can archive and diff across runs.
+type Report struct {
+	Baseline    string                 `json:"baseline"`
+	NsThreshold float64                `json:"ns_threshold"`
+	BThreshold  float64                `json:"b_threshold"`
+	Pass        bool                   `json:"pass"`
+	Benchmarks  map[string]ReportBench `json:"benchmarks"`
+	// Unbaselined lists input benchmarks the baseline doesn't gate yet
+	// (warnings, never failures).
+	Unbaselined []string `json:"unbaselined,omitempty"`
+	Failures    []string `json:"failures,omitempty"`
+}
+
+// BuildReport assembles the -json artifact from the same inputs Compare
+// judges, plus Compare's verdict.
+func BuildReport(baselinePath string, base *Baseline, cur map[string]Entry, nsThr, bThr float64, failures []string) Report {
+	rep := Report{
+		Baseline:    baselinePath,
+		NsThreshold: nsThr,
+		BThreshold:  bThr,
+		Pass:        len(failures) == 0,
+		Benchmarks:  make(map[string]ReportBench, len(base.Benchmarks)),
+		Failures:    failures,
+	}
+	for name, b := range base.Benchmarks {
+		rb := ReportBench{
+			BaselineNsPerOp: b.NsPerOp, CurrentNsPerOp: -1, NsRatio: -1,
+			BaselineBPerOp: b.BPerOp, CurrentBPerOp: -1, BRatio: -1,
+		}
+		if c, ok := cur[name]; ok {
+			rb.CurrentNsPerOp = c.NsPerOp
+			if b.NsPerOp > 0 {
+				rb.NsRatio = c.NsPerOp / b.NsPerOp
+			}
+			rb.CurrentBPerOp = c.BPerOp
+			if b.BPerOp > 0 && c.BPerOp >= 0 {
+				rb.BRatio = c.BPerOp / b.BPerOp
+			}
+		} else {
+			rb.Missing = true
+		}
+		rep.Benchmarks[name] = rb
+	}
+	for name := range cur {
+		if _, ok := base.Benchmarks[name]; !ok {
+			rep.Unbaselined = append(rep.Unbaselined, name)
+		}
+	}
+	sort.Strings(rep.Unbaselined)
+	return rep
+}
+
 // Compare checks current observations against the baseline and returns
 // the failures (empty = gate passes), the warnings (benchmarks in the
 // input but not yet baselined — surfaced loudly but never fatal, so a
@@ -167,10 +241,15 @@ func main() {
 		write       = flag.String("write", "", "baseline JSON to (over)write from stdin")
 		threshold   = flag.Float64("threshold", 0.30, "allowed fractional regression for ns/op and B/op")
 		nsThreshold = flag.Float64("ns-threshold", -1, "override -threshold for ns/op only (CI uses a looser value to absorb hardware differences from the baseline machine)")
+		jsonOut     = flag.String("json", "", "with -check: also write the comparison as a machine-readable JSON report to this file (written on pass and fail, for CI artifacts)")
 	)
 	flag.Parse()
 	if (*check == "") == (*write == "") {
 		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -check or -write is required")
+		os.Exit(2)
+	}
+	if *jsonOut != "" && *check == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -json requires -check")
 		os.Exit(2)
 	}
 	cur, err := Parse(os.Stdin)
@@ -212,6 +291,20 @@ func main() {
 		nsThr = *nsThreshold
 	}
 	failures, warnings, report := Compare(&base, cur, nsThr, *threshold)
+	// The JSON artifact is written before the verdict exits, so CI can
+	// archive it for failing runs too — that's when it matters most.
+	if *jsonOut != "" {
+		rep := BuildReport(*check, &base, cur, nsThr, *threshold, failures)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	for _, line := range report {
 		fmt.Println(line)
 	}

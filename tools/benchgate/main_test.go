@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -119,5 +120,64 @@ func TestCompareGate(t *testing.T) {
 	// A fully-baselined run warns about nothing.
 	if _, warnings, _ := Compare(base, ok, 0.30, 0.30); len(warnings) != 0 {
 		t.Errorf("spurious warnings: %v", warnings)
+	}
+}
+
+// TestBuildReport: the -json artifact carries the same verdict as the
+// human-readable output — per-benchmark ratios, missing baselined
+// benchmarks, unbaselined extras — and survives a JSON round trip.
+func TestBuildReport(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkSweep/workers=4": {NsPerOp: 1000, BPerOp: 500},
+		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
+	}}
+	cur := map[string]Entry{
+		"BenchmarkSweep/workers=4": {NsPerOp: 2000, BPerOp: 400},
+		"BenchmarkNew":             {NsPerOp: 7, BPerOp: 7},
+	}
+	failures, _, _ := Compare(base, cur, 0.30, 0.30)
+	rep := BuildReport("BENCH_baseline.json", base, cur, 0.30, 0.30, failures)
+
+	if rep.Pass {
+		t.Error("report passes despite failures")
+	}
+	if rep.Baseline != "BENCH_baseline.json" || rep.NsThreshold != 0.30 {
+		t.Errorf("report header: %+v", rep)
+	}
+	sweep := rep.Benchmarks["BenchmarkSweep/workers=4"]
+	if sweep.NsRatio != 2.0 || sweep.BRatio != 0.8 || sweep.Missing {
+		t.Errorf("sweep entry: %+v", sweep)
+	}
+	tick := rep.Benchmarks["BenchmarkSimTick"]
+	if !tick.Missing || tick.CurrentNsPerOp != -1 {
+		t.Errorf("missing benchmark entry: %+v", tick)
+	}
+	if len(rep.Unbaselined) != 1 || rep.Unbaselined[0] != "BenchmarkNew" {
+		t.Errorf("unbaselined: %v", rep.Unbaselined)
+	}
+	if len(rep.Failures) != len(failures) {
+		t.Errorf("failures not carried: %v", rep.Failures)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks["BenchmarkSweep/workers=4"].NsRatio != 2.0 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+
+	// A clean run reports pass and no failure list.
+	clean := map[string]Entry{
+		"BenchmarkSweep/workers=4": {NsPerOp: 1000, BPerOp: 500},
+		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
+	}
+	cleanFailures, _, _ := Compare(base, clean, 0.30, 0.30)
+	if rep := BuildReport("b.json", base, clean, 0.30, 0.30, cleanFailures); !rep.Pass || len(rep.Failures) != 0 || len(rep.Unbaselined) != 0 {
+		t.Errorf("clean report: %+v", rep)
 	}
 }
