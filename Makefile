@@ -1,8 +1,9 @@
 # Developer and CI entry points. The benchmark-regression gate keeps
-# BENCH_baseline.json honest: `make bench-check` fails when ns/op or
-# B/op of a gated benchmark worsens by >30% against the committed
-# baseline; `make bench-baseline` refreshes it (run on the reference
-# machine — ns/op baselines are machine-relative, B/op is portable).
+# BENCH_baseline.json honest: `make bench-check` fails when ns/op,
+# B/op or allocs/op of a gated benchmark worsens by >30% against the
+# committed baseline; `make bench-baseline` refreshes it (run on the
+# reference machine — ns/op baselines are machine-relative, B/op and
+# allocs/op are portable).
 
 GO          ?= go
 BENCH_COUNT ?= 3
@@ -11,6 +12,9 @@ BENCH_FILE  ?= BENCH_baseline.json
 # passes a looser value (see .github/workflows/ci.yml) to absorb
 # runner-vs-baseline hardware skew — B/op always stays at 30%.
 BENCH_NS_THRESHOLD ?= 0.30
+# allocs/op threshold. Allocation counts are deterministic across
+# machines, so this stays tight everywhere, like B/op.
+BENCH_ALLOCS_THRESHOLD ?= 0.30
 # Set BENCH_JSON to a path to also write bench-check's comparison as a
 # machine-readable report (CI archives it as an artifact).
 BENCH_JSON ?=
@@ -39,9 +43,12 @@ fmt-check:
 # The gated benchmark set: the sweep engine (all execution modes), the
 # sim engine's hot tick loop (single and composed scenarios), the
 # serving layer's lock-free lookup path at 1/4/8 goroutines, the radix
-# covering walk it rests on, and the distributed coordinator's
-# decode-and-assemble merge path. Fixed -benchtime keeps run time
-# bounded; -count $(BENCH_COUNT) gives benchgate best-of folding.
+# covering walk it rests on, the distributed coordinator's
+# decode-and-assemble merge path, and the web-scale path — sharded
+# world generation throughput, the packed domain table's build cost and
+# bytes/domain, and the lookup path against a million-domain table.
+# Fixed -benchtime keeps run time bounded; -count $(BENCH_COUNT) gives
+# benchgate best-of folding.
 bench:
 	@$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 2x -benchmem -count $(BENCH_COUNT) ./internal/sweep
 	@$(GO) test -run '^$$' -bench 'BenchmarkSimTick$$' -benchtime 200x -benchmem -count $(BENCH_COUNT) .
@@ -49,11 +56,14 @@ bench:
 	@$(GO) test -run '^$$' -bench 'BenchmarkServeValidate$$' -benchtime 50000x -benchmem -count $(BENCH_COUNT) ./internal/serve
 	@$(GO) test -run '^$$' -bench 'BenchmarkCovering$$' -benchtime 200000x -benchmem -count $(BENCH_COUNT) ./internal/radix
 	@$(GO) test -run '^$$' -bench 'BenchmarkDistMerge$$' -benchtime 20x -benchmem -count $(BENCH_COUNT) ./internal/distsweep
+	@$(GO) test -run '^$$' -bench 'BenchmarkWorldgen$$' -benchtime 1x -benchmem -count $(BENCH_COUNT) ./internal/webworld
+	@$(GO) test -run '^$$' -bench 'BenchmarkBuildDomainTable$$' -benchtime 1x -benchmem -count $(BENCH_COUNT) ./internal/serve
+	@$(GO) test -run '^$$' -bench 'BenchmarkServeValidate1M$$' -benchtime 20000x -benchmem -count $(BENCH_COUNT) ./internal/serve
 
 bench-baseline:
 	@$(MAKE) --no-print-directory bench | $(GO) run ./tools/benchgate -write $(BENCH_FILE)
 
 bench-check:
-	@$(MAKE) --no-print-directory bench | $(GO) run ./tools/benchgate -check $(BENCH_FILE) -ns-threshold $(BENCH_NS_THRESHOLD) $(if $(BENCH_JSON),-json $(BENCH_JSON))
+	@$(MAKE) --no-print-directory bench | $(GO) run ./tools/benchgate -check $(BENCH_FILE) -ns-threshold $(BENCH_NS_THRESHOLD) -allocs-threshold $(BENCH_ALLOCS_THRESHOLD) $(if $(BENCH_JSON),-json $(BENCH_JSON))
 
 ci: build vet fmt-check test

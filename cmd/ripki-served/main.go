@@ -77,6 +77,7 @@ func configure(args []string, stderr io.Writer) (*daemon, error) {
 		listen      = fs.String("listen", "127.0.0.1:8480", "HTTP listen address")
 		domains     = fs.Int("domains", 20000, "world size (domain exposure table)")
 		seed        = fs.Int64("seed", 1, "world generation seed")
+		shards      = fs.Int("shards", 0, "world generation parallelism (0 = GOMAXPROCS; output is identical at any value)")
 		vrpFile     = fs.String("vrps", "", "serve VRPs from a CSV export instead of the world's own RPKI state")
 		rtrAddr     = fs.String("rtr", "", "follow a live RTR cache at host:port (replaces the snapshot on every notify)")
 		scenario    = fs.String("scenario", "", `drive updates from a sim scenario or a "+"-joined composition ("hijack-window+rp-lag"); registered: `+strings.Join(sim.Names(), ", "))
@@ -107,7 +108,7 @@ func configure(args []string, stderr io.Writer) (*daemon, error) {
 		}
 	}
 
-	world, err := webworld.Generate(webworld.Config{Seed: *seed, Domains: *domains})
+	world, err := webworld.Generate(webworld.Config{Seed: *seed, Domains: *domains, Shards: *shards})
 	if err != nil {
 		return nil, err
 	}
@@ -154,8 +155,8 @@ func configure(args []string, stderr io.Writer) (*daemon, error) {
 		svc:     svc,
 		handler: handler,
 		listen:  *listen,
-		banner: fmt.Sprintf("serving %d domains, %d VRPs (source=%s)",
-			table.Len(), initial.Len(), source),
+		banner: fmt.Sprintf("serving %d domains (%.1f MB table), %d VRPs (source=%s)",
+			table.Len(), float64(table.MemoryFootprint())/1e6, initial.Len(), source),
 	}
 	if *pprofFlag {
 		d.banner += ", pprof on /debug/pprof/"

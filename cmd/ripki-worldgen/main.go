@@ -29,13 +29,14 @@ func main() {
 	var (
 		domains = flag.Int("domains", 100000, "size of the ranked domain list")
 		seed    = flag.Int64("seed", 1, "world generation seed")
+		shards  = flag.Int("shards", 0, "generation parallelism (0 = GOMAXPROCS; output is identical at any value)")
 		out     = flag.String("out", "world", "output directory")
 		zones   = flag.Bool("zones", false, "also dump every DNS record (large)")
 		rpkiDir = flag.Bool("rpki", false, "also write the full RPKI repository tree (DER publication points)")
 	)
 	flag.Parse()
 
-	w, err := webworld.Generate(webworld.Config{Seed: *seed, Domains: *domains})
+	w, err := webworld.Generate(webworld.Config{Seed: *seed, Domains: *domains, Shards: *shards})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,6 +24,13 @@ func NewRegistry() *Registry {
 	return &Registry{records: make(map[string][]RR)}
 }
 
+// NewRegistrySized creates an empty registry with space for about n
+// owner names, so web-scale worlds (a million domains, two-plus names
+// each) fill it without rehashing the map a dozen times.
+func NewRegistrySized(n int) *Registry {
+	return &Registry{records: make(map[string][]RR, n)}
+}
+
 // Add inserts a record. The owner name is canonicalised.
 func (r *Registry) Add(rr RR) {
 	rr.Name = CanonicalName(rr.Name)
@@ -36,6 +43,24 @@ func (r *Registry) Add(rr RR) {
 	r.mu.Lock()
 	r.records[rr.Name] = append(r.records[rr.Name], rr)
 	r.mu.Unlock()
+}
+
+// AddBatch inserts many records under one lock acquisition, preserving
+// slice order. It is the bulk path for sharded world generation, where
+// each shard accumulates its records and replays them in rank order.
+func (r *Registry) AddBatch(rrs []RR) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rr := range rrs {
+		rr.Name = CanonicalName(rr.Name)
+		if rr.Type == TypeCNAME || rr.Type == TypeNS {
+			rr.Target = CanonicalName(rr.Target)
+		}
+		if rr.Class == 0 {
+			rr.Class = ClassINET
+		}
+		r.records[rr.Name] = append(r.records[rr.Name], rr)
+	}
 }
 
 // Clone returns a deep copy of the registry: the copy and the original

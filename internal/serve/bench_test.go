@@ -5,6 +5,8 @@ import (
 	"net/netip"
 	"sync"
 	"testing"
+
+	"ripki/internal/webworld"
 )
 
 // BenchmarkServeValidate measures the in-process lookup path — one
@@ -64,4 +66,97 @@ func BenchmarkServeValidate(b *testing.B) {
 			wg.Wait()
 		})
 	}
+}
+
+// BenchmarkBuildDomainTable gates the packed table's build cost and its
+// per-domain memory. One op resolves and packs a 50k-domain world; B/op
+// is what the interning work holds down, and the explicit bytes/domain
+// metric reports the steady-state footprint (the transient resolution
+// arenas are gone after the build).
+func BenchmarkBuildDomainTable(b *testing.B) {
+	const domains = 50000
+	w, err := webworld.Generate(webworld.Config{Seed: 1, Domains: domains})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var dt *DomainTable
+	for i := 0; i < b.N; i++ {
+		dt, err = BuildDomainTable(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if dt.Len() != domains {
+		b.Fatalf("short table: %d", dt.Len())
+	}
+	b.ReportMetric(float64(dt.MemoryFootprint())/float64(domains), "bytes/domain")
+}
+
+// The million-domain service is built once and shared by the 1M bench:
+// worlds of this size are the paper's real population and take tens of
+// seconds to generate.
+var (
+	megaOnce sync.Once
+	megaSvc  *Service
+	megaErr  error
+)
+
+func megaService(b *testing.B) *Service {
+	megaOnce.Do(func() {
+		w, err := webworld.Generate(webworld.Config{Seed: 1, Domains: 1_000_000})
+		if err != nil {
+			megaErr = err
+			return
+		}
+		dt, err := BuildDomainTable(w)
+		if err != nil {
+			megaErr = err
+			return
+		}
+		s := New(dt)
+		if _, err := s.PublishSet(w.Validation().VRPs, "world", 0); err != nil {
+			megaErr = err
+			return
+		}
+		megaSvc = s
+	})
+	if megaErr != nil {
+		b.Fatal(megaErr)
+	}
+	return megaSvc
+}
+
+// BenchmarkServeValidate1M is BenchmarkServeValidate's single-goroutine
+// route mix against a million-domain table: the lookup path must stay
+// flat no matter how large the domain population behind the snapshot
+// is, and the MB-table metric pins the packed footprint at full scale.
+func BenchmarkServeValidate1M(b *testing.B) {
+	s := megaService(b)
+	type route struct {
+		prefix netip.Prefix
+		asn    uint32
+	}
+	var routes []route
+	for i, v := range s.Current().Index.All() {
+		routes = append(routes, route{v.Prefix, v.ASN})
+		routes = append(routes, route{v.Prefix, 64999})
+		uncovered := netip.PrefixFrom(netip.AddrFrom4([4]byte{203, 0, byte(113 + i%16), 0}), 24)
+		routes = append(routes, route{uncovered, v.ASN})
+	}
+	if len(routes) == 0 {
+		b.Fatal("no VRPs to probe")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := routes[i%len(routes)]
+		res := s.Current().ValidateRoute(r.prefix, r.asn)
+		if res.State == "" {
+			b.Fatal("empty state")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.domains.MemoryFootprint())/1e6, "MB-table")
 }

@@ -5,30 +5,23 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"unsafe"
 
 	"ripki/internal/dns"
 	"ripki/internal/measure"
 	"ripki/internal/netutil"
 	"ripki/internal/rib"
 	"ripki/internal/rpki/vrp"
+	"ripki/internal/strtab"
 	"ripki/internal/webworld"
 )
 
-// domainEntry is one domain's VRP-independent measurement state: the
-// distinct (prefix, origin AS) pairs serving each name variant, per the
-// paper's methodology steps 2–3 (DNS resolution, special-purpose
-// filtering, RIB covering-prefix extraction). Validation (step 4) is
-// deliberately NOT baked in — it is re-run against each snapshot's VRP
-// index, which is what lets the service answer under live VRP churn
-// without re-measuring.
-type domainEntry struct {
-	name string
-	rank int
-	cdn  bool
-
-	www, apex                 []rib.PrefixOrigin
-	wwwResolved, apexResolved bool
-}
+// Per-domain flag bits in DomainTable.flags.
+const (
+	flagCDN uint8 = 1 << iota
+	flagWWWResolved
+	flagApexResolved
+)
 
 // DomainListing is one row of GET /v1/domains.
 type DomainListing struct {
@@ -36,67 +29,164 @@ type DomainListing struct {
 	Rank int    `json:"rank"`
 }
 
-// DomainTable maps domain names to their serving routes. It is built
-// once (DNS and RIB state is VRP-independent) and shared by every
-// snapshot; after construction it is immutable and lock-free.
+// DomainTable maps domain names to their serving routes: each domain's
+// VRP-independent measurement state — the distinct (prefix, origin AS)
+// pairs serving each name variant, per the paper's methodology steps
+// 2–3 (DNS resolution, special-purpose filtering, RIB covering-prefix
+// extraction). Validation (step 4) is deliberately NOT baked in — it is
+// re-run against each snapshot's VRP index, which is what lets the
+// service answer under live VRP churn without re-measuring.
+//
+// The layout is struct-of-arrays with interned names and deduplicated
+// routes, sized for the paper's million-domain population: a domain is
+// a rank, a flag byte, a name id into the string table, and two spans
+// into a shared route-id array. The distinct (prefix, origin) pairs of
+// the whole world number in the low tens of thousands, so per-snapshot
+// exposure validates each unique route once instead of once per domain.
+// It is built once (DNS and RIB state is VRP-independent) and shared by
+// every snapshot; after construction it is immutable and lock-free.
 type DomainTable struct {
-	byName  map[string]*domainEntry
-	ordered []*domainEntry // rank order
-	headCut int            // head/tail split for exposure aggregation
+	names   *strtab.Table
+	nameIDs []uint32
+	index   map[string]int32 // interned name → position in rank order
+	ranks   []int32
+	flags   []uint8
+	// offs holds 2n+1 boundaries into routeIDs: domain i's www pairs
+	// are routeIDs[offs[2i]:offs[2i+1]], its apex pairs
+	// routeIDs[offs[2i+1]:offs[2i+2]].
+	offs     []uint32
+	routeIDs []uint32
+	routes   []rib.PrefixOrigin // unique (prefix, origin) pairs
+	headCut  int                // head/tail split for exposure aggregation
+}
+
+// name returns domain i's interned name.
+func (t *DomainTable) name(i int32) string { return t.names.Get(t.nameIDs[i]) }
+
+// wwwIDs returns domain i's www-variant route ids.
+func (t *DomainTable) wwwIDs(i int32) []uint32 {
+	return t.routeIDs[t.offs[2*i]:t.offs[2*i+1]]
+}
+
+// apexIDs returns domain i's apex-variant route ids.
+func (t *DomainTable) apexIDs(i int32) []uint32 {
+	return t.routeIDs[t.offs[2*i+1]:t.offs[2*i+2]]
 }
 
 // BuildDomainTable resolves every domain of the world's ranked list —
 // both the www and the apex variant — and extracts the covering
-// (prefix, origin) pairs from the world's RIB.
+// (prefix, origin) pairs from the world's RIB. Resolution fans out
+// across GOMAXPROCS chunks into private arenas; the pack into the
+// interned table is a sequential second phase (route deduplication
+// wants one id space).
 func BuildDomainTable(w *webworld.World) (*DomainTable, error) {
 	resolver := dns.RegistryResolver{Registry: w.Registry}
 	entries := w.List.Entries()
-	t := &DomainTable{
-		byName:  make(map[string]*domainEntry, len(entries)),
-		ordered: make([]*domainEntry, len(entries)),
-	}
-	maxRank := 0
+	n := len(entries)
 
-	workers := runtime.GOMAXPROCS(0)
-	chunk := (len(entries) + workers - 1) / workers
-	if chunk == 0 {
-		chunk = 1
+	type arena struct {
+		lo, hi int
+		pairs  []rib.PrefixOrigin
+		counts []uint32 // 2 per domain: len(www pairs), len(apex pairs)
+		flags  []uint8
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	arenas := make([]*arena, workers)
 	var wg sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
-	for start := 0; start < len(entries); start += chunk {
-		end := min(start+chunk, len(entries))
+	for c := 0; c < workers; c++ {
+		a := &arena{lo: n * c / workers, hi: n * (c + 1) / workers}
+		a.counts = make([]uint32, 0, 2*(a.hi-a.lo))
+		a.flags = make([]uint8, 0, a.hi-a.lo)
+		arenas[c] = a
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				e := &domainEntry{name: entries[i].Domain, rank: entries[i].Rank}
-				var chain int
-				var err error
-				if e.www, e.wwwResolved, chain, err = resolveVariant(resolver, w.RIB, "www."+e.name); err != nil {
+			for i := a.lo; i < a.hi; i++ {
+				name := entries[i].Domain
+				www, wwwResolved, chain, err := resolveVariant(resolver, w.RIB, "www."+name)
+				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					return
 				}
-				// The paper's conservative CDN heuristic: the www name is
-				// reached through two or more CNAMEs.
-				e.cdn = e.wwwResolved && chain >= 2
-				if e.apex, e.apexResolved, _, err = resolveVariant(resolver, w.RIB, e.name); err != nil {
+				apex, apexResolved, _, err := resolveVariant(resolver, w.RIB, name)
+				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					return
 				}
-				t.ordered[i] = e
+				var fl uint8
+				// The paper's conservative CDN heuristic: the www name
+				// is reached through two or more CNAMEs.
+				if wwwResolved && chain >= 2 {
+					fl |= flagCDN
+				}
+				if wwwResolved {
+					fl |= flagWWWResolved
+				}
+				if apexResolved {
+					fl |= flagApexResolved
+				}
+				a.pairs = append(a.pairs, www...)
+				a.pairs = append(a.pairs, apex...)
+				a.counts = append(a.counts, uint32(len(www)), uint32(len(apex)))
+				a.flags = append(a.flags, fl)
 			}
-		}(start, end)
+		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	for _, e := range t.ordered {
-		t.byName[e.name] = e
-		if e.rank > maxRank {
-			maxRank = e.rank
+
+	totalPairs := 0
+	for _, a := range arenas {
+		totalPairs += len(a.pairs)
+	}
+	t := &DomainTable{
+		names:    strtab.NewSized(n, 14*n),
+		nameIDs:  make([]uint32, n),
+		index:    make(map[string]int32, n),
+		ranks:    make([]int32, n),
+		flags:    make([]uint8, n),
+		offs:     make([]uint32, 1, 2*n+1),
+		routeIDs: make([]uint32, 0, totalPairs),
+	}
+	routeID := make(map[rib.PrefixOrigin]uint32, 1024)
+	maxRank := 0
+	i := int32(0)
+	for _, a := range arenas {
+		pi := 0
+		for k := a.lo; k < a.hi; k++ {
+			t.nameIDs[i] = t.names.Intern(entries[k].Domain)
+			t.index[t.name(i)] = i
+			t.ranks[i] = int32(entries[k].Rank)
+			t.flags[i] = a.flags[k-a.lo]
+			for v := 0; v < 2; v++ {
+				cnt := int(a.counts[2*(k-a.lo)+v])
+				for j := 0; j < cnt; j++ {
+					po := a.pairs[pi]
+					pi++
+					id, ok := routeID[po]
+					if !ok {
+						id = uint32(len(t.routes))
+						t.routes = append(t.routes, po)
+						routeID[po] = id
+					}
+					t.routeIDs = append(t.routeIDs, id)
+				}
+				t.offs = append(t.offs, uint32(len(t.routeIDs)))
+			}
+			if entries[k].Rank > maxRank {
+				maxRank = entries[k].Rank
+			}
+			i++
 		}
 	}
 	t.headCut = maxRank / 10
@@ -141,64 +231,98 @@ func resolveVariant(resolver dns.Lookuper, table *rib.Table, name string) (pairs
 }
 
 // Len returns the number of domains in the table.
-func (t *DomainTable) Len() int { return len(t.ordered) }
+func (t *DomainTable) Len() int { return len(t.ranks) }
 
-// Listing returns up to limit domains in rank order (limit <= 0 means
-// all).
-func (t *DomainTable) Listing(limit int) []DomainListing {
-	n := len(t.ordered)
-	if limit > 0 && limit < n {
-		n = limit
+// UniqueRoutes returns the number of distinct (prefix, origin) pairs
+// across all domains.
+func (t *DomainTable) UniqueRoutes() int { return len(t.routes) }
+
+// MemoryFootprint estimates the table's heap bytes: the packed arrays
+// exactly, the name index map by its per-entry overhead. It backs the
+// ripki_serve_domain_table_bytes gauge and the bytes/domain bench
+// metric.
+func (t *DomainTable) MemoryFootprint() int {
+	const mapEntry = 48 // string header + int32 + bucket overhead, amortised
+	b := t.names.Bytes() + 4*(t.names.Len()+1)
+	b += 4*len(t.nameIDs) + 4*len(t.ranks) + len(t.flags)
+	b += 4*len(t.offs) + 4*len(t.routeIDs)
+	b += int(unsafe.Sizeof(rib.PrefixOrigin{})) * len(t.routes)
+	b += mapEntry * len(t.index)
+	return b
+}
+
+// Listing returns up to limit domains in rank order starting at offset
+// (limit <= 0 means all remaining; an offset past the end is empty, not
+// an error).
+func (t *DomainTable) Listing(limit, offset int) []DomainListing {
+	n := t.Len()
+	if offset < 0 {
+		offset = 0
 	}
-	out := make([]DomainListing, n)
-	for i := 0; i < n; i++ {
-		out[i] = DomainListing{Name: t.ordered[i].name, Rank: t.ordered[i].rank}
+	if offset > n {
+		offset = n
+	}
+	end := n
+	if limit > 0 && offset+limit < n {
+		end = offset + limit
+	}
+	out := make([]DomainListing, 0, end-offset)
+	for i := offset; i < end; i++ {
+		out = append(out, DomainListing{Name: t.name(int32(i)), Rank: int(t.ranks[i])})
 	}
 	return out
 }
 
 // lookup finds a domain by name, accepting an optional "www." label.
-func (t *DomainTable) lookup(name string) (*domainEntry, bool) {
+func (t *DomainTable) lookup(name string) (int32, bool) {
 	name = strings.ToLower(strings.TrimSuffix(name, "."))
-	if e, ok := t.byName[name]; ok {
-		return e, true
+	if i, ok := t.index[name]; ok {
+		return i, true
 	}
 	if rest, ok := strings.CutPrefix(name, "www."); ok {
-		e, ok := t.byName[rest]
-		return e, ok
+		i, ok := t.index[rest]
+		return i, ok
 	}
-	return nil, false
+	return 0, false
 }
 
 // exposure aggregates the table's per-domain www state probabilities
 // against a VRP index, in measure.Snapshot's terms: mean valid /
 // invalid / notfound / coverage plus the head-vs-tail protection split
-// the paper's figures revolve around. Writers call it once per publish;
-// snapshots serve the precomputed value.
+// the paper's figures revolve around. Each unique route is validated
+// once up front; the per-domain pass is then pure array arithmetic —
+// O(routes + domains) instead of O(domains × pairs) trie walks.
+// Writers call it once per publish; snapshots serve the precomputed
+// value.
 func (t *DomainTable) exposure(ix *vrp.Index) measure.ExposureSnapshot {
 	var snap measure.ExposureSnapshot
+	states := make([]vrp.State, len(t.routes))
+	for id, po := range t.routes {
+		states[id] = ix.Validate(po.Prefix, po.Origin)
+	}
 	var headN, tailN float64
-	for _, e := range t.ordered {
-		if !e.wwwResolved || len(e.www) == 0 {
+	for i := 0; i < t.Len(); i++ {
+		ids := t.wwwIDs(int32(i))
+		if t.flags[i]&flagWWWResolved == 0 || len(ids) == 0 {
 			continue
 		}
 		snap.Domains++
 		valid, invalid := 0, 0
-		for _, po := range e.www {
-			switch ix.Validate(po.Prefix, po.Origin) {
+		for _, id := range ids {
+			switch states[id] {
 			case vrp.Valid:
 				valid++
 			case vrp.Invalid:
 				invalid++
 			}
 		}
-		n := float64(len(e.www))
+		n := float64(len(ids))
 		validP := float64(valid) / n
 		snap.Valid += validP
 		snap.Invalid += float64(invalid) / n
-		snap.NotFound += float64(len(e.www)-valid-invalid) / n
+		snap.NotFound += float64(len(ids)-valid-invalid) / n
 		snap.Coverage += float64(valid+invalid) / n
-		if e.rank <= t.headCut {
+		if int(t.ranks[i]) <= t.headCut {
 			snap.HeadValid += validP
 			headN++
 		} else {

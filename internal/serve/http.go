@@ -235,25 +235,45 @@ func (s *Service) handleDomain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, verdict)
 }
 
+// maxDomainsPage caps one GET /v1/domains response. At the paper's
+// million-domain population an uncapped listing would marshal tens of
+// megabytes per request; clients page with limit/offset instead, and
+// count always reports the full population size.
+const maxDomainsPage = 1000
+
 func (s *Service) handleDomains(w http.ResponseWriter, r *http.Request) {
 	sn := s.current(w)
 	if sn == nil {
 		return
 	}
-	limit := 0
-	if l := r.URL.Query().Get("limit"); l != "" {
+	q := r.URL.Query()
+	limit := maxDomainsPage
+	if l := q.Get("limit"); l != "" {
 		n, err := strconv.Atoi(l)
 		if err != nil || n < 0 {
 			writeError(w, http.StatusBadRequest, "bad limit %q", l)
 			return
 		}
-		limit = n
+		// 0 ("everything") and over-cap requests clamp to the page cap.
+		if n != 0 && n < maxDomainsPage {
+			limit = n
+		}
+	}
+	offset := 0
+	if o := q.Get("offset"); o != "" {
+		n, err := strconv.Atoi(o)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad offset %q", o)
+			return
+		}
+		offset = n // past-the-end offsets answer an empty page, not 400
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Serial  uint64          `json:"serial"`
 		Count   int             `json:"count"`
+		Offset  int             `json:"offset"`
 		Domains []DomainListing `json:"domains"`
-	}{sn.Serial, sn.Domains.Len(), sn.Domains.Listing(limit)})
+	}{sn.Serial, sn.Domains.Len(), offset, sn.Domains.Listing(limit, offset)})
 }
 
 // snapshotInfo is the GET /v1/snapshot body.

@@ -3,6 +3,7 @@ package serve
 import (
 	"math"
 	"math/bits"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -144,9 +145,24 @@ func (s *Service) buildRegistry() *obs.Registry {
 	r := obs.NewRegistry()
 	r.GaugeFunc("ripki_serve_uptime_seconds", "Seconds since the service started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	r.GaugeFunc("ripki_serve_domain_table_bytes", "Approximate heap footprint of the packed domain exposure table.",
+		func() float64 { return float64(s.domains.MemoryFootprint()) })
+	r.Collect(collectMem)
 	r.Collect(s.collectSnapshot)
 	r.Collect(s.metrics.collect)
 	return r
+}
+
+// collectMem renders process memory gauges from runtime.MemStats. The
+// CI scale-smoke job gates the million-domain deployment on these — Sys
+// is the runtime's RSS upper bound, heap_alloc the live object bytes.
+func collectMem(e *obs.Encoder) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	e.Family("ripki_serve_mem_heap_alloc_bytes", "Live heap bytes (runtime.MemStats.HeapAlloc).", obs.TypeGauge)
+	e.Sample("", nil, float64(ms.HeapAlloc))
+	e.Family("ripki_serve_mem_sys_bytes", "Bytes obtained from the OS (runtime.MemStats.Sys, an RSS upper bound).", obs.TypeGauge)
+	e.Sample("", nil, float64(ms.Sys))
 }
 
 // collectSnapshot renders the snapshot and per-source staleness gauges.

@@ -36,7 +36,6 @@ import (
 
 	"ripki/internal/measure"
 	"ripki/internal/obs"
-	"ripki/internal/rib"
 	"ripki/internal/rpki/vrp"
 	"ripki/internal/webworld"
 )
@@ -142,29 +141,34 @@ type DomainVerdict struct {
 // Domain answers the per-domain exposure query. The name may carry a
 // leading "www." label; both variants are always reported.
 func (sn *Snapshot) Domain(name string) (*DomainVerdict, bool) {
-	e, ok := sn.Domains.lookup(name)
+	t := sn.Domains
+	i, ok := t.lookup(name)
 	if !ok {
 		return nil, false
 	}
+	dn := t.name(i)
 	return &DomainVerdict{
-		Domain: e.name,
-		Rank:   e.rank,
-		CDN:    e.cdn,
+		Domain: dn,
+		Rank:   int(t.ranks[i]),
+		CDN:    t.flags[i]&flagCDN != 0,
 		Serial: sn.Serial,
-		WWW:    sn.variantVerdict("www."+e.name, e.www, e.wwwResolved),
-		Apex:   sn.variantVerdict(e.name, e.apex, e.apexResolved),
+		WWW:    sn.variantVerdict("www."+dn, t.wwwIDs(i), t.flags[i]&flagWWWResolved != 0),
+		Apex:   sn.variantVerdict(dn, t.apexIDs(i), t.flags[i]&flagApexResolved != 0),
 	}, true
 }
 
-// variantVerdict validates one variant's pairs against the snapshot.
-func (sn *Snapshot) variantVerdict(name string, pairs []rib.PrefixOrigin, resolved bool) VariantVerdict {
+// variantVerdict validates one variant's routes (ids into the table's
+// unique-route array) against the snapshot.
+func (sn *Snapshot) variantVerdict(name string, ids []uint32, resolved bool) VariantVerdict {
 	v := VariantVerdict{Name: name, Resolved: resolved}
-	if !resolved || len(pairs) == 0 {
+	if !resolved || len(ids) == 0 {
 		return v
 	}
-	v.Routes = make([]RouteResult, 0, len(pairs))
+	routes := sn.Domains.routes
+	v.Routes = make([]RouteResult, 0, len(ids))
 	valid, invalid := 0, 0
-	for _, p := range pairs {
+	for _, id := range ids {
+		p := routes[id]
 		rr := sn.ValidateRoute(p.Prefix, p.Origin)
 		v.Routes = append(v.Routes, rr)
 		switch rr.State {
@@ -174,13 +178,13 @@ func (sn *Snapshot) variantVerdict(name string, pairs []rib.PrefixOrigin, resolv
 			invalid++
 		}
 	}
-	n := float64(len(pairs))
+	n := float64(len(ids))
 	v.Valid = float64(valid) / n
 	v.Invalid = float64(invalid) / n
-	v.NotFound = float64(len(pairs)-valid-invalid) / n
+	v.NotFound = float64(len(ids)-valid-invalid) / n
 	v.Coverage = float64(valid+invalid) / n
-	v.Protected = valid == len(pairs)
-	v.StrictReachable = invalid < len(pairs)
+	v.Protected = valid == len(ids)
+	v.StrictReachable = invalid < len(ids)
 	return v
 }
 

@@ -159,7 +159,7 @@ func TestValidateEndpoint(t *testing.T) {
 func TestDomainEndpoint(t *testing.T) {
 	s := testService(t)
 	h := s.Handler()
-	name := testTable.ordered[0].name
+	name := testTable.name(0)
 
 	rec, body := do(t, h, "GET", "/v1/domain/"+name, "")
 	if rec.Code != http.StatusOK {
@@ -206,6 +206,61 @@ func TestDomainsListing(t *testing.T) {
 	}
 	if domains[0].(map[string]any)["rank"].(float64) != 1 {
 		t.Fatalf("not rank-ordered: %v", domains[0])
+	}
+}
+
+// TestDomainsListingPagination covers the server-side page cap and the
+// limit/offset parameters the million-domain population requires.
+func TestDomainsListingPagination(t *testing.T) {
+	s := testService(t)
+	h := s.Handler()
+	total := testTable.Len()
+	if total <= maxDomainsPage {
+		t.Fatalf("test world too small to exercise the cap: %d domains", total)
+	}
+
+	// No params: capped, not the whole table; count still reports all.
+	_, body := do(t, h, "GET", "/v1/domains", "")
+	if got := len(body["domains"].([]any)); got != maxDomainsPage {
+		t.Fatalf("uncapped default: %d rows, want %d", got, maxDomainsPage)
+	}
+	if int(body["count"].(float64)) != total {
+		t.Fatalf("count = %v, want %d", body["count"], total)
+	}
+
+	// Over-cap and "0 = everything" requests clamp to the cap.
+	for _, q := range []string{"limit=999999", "limit=0"} {
+		_, body = do(t, h, "GET", "/v1/domains?"+q, "")
+		if got := len(body["domains"].([]any)); got != maxDomainsPage {
+			t.Fatalf("%s: %d rows, want %d", q, got, maxDomainsPage)
+		}
+	}
+
+	// Offset pages through in rank order.
+	_, body = do(t, h, "GET", "/v1/domains?limit=2&offset=5", "")
+	domains := body["domains"].([]any)
+	if len(domains) != 2 || domains[0].(map[string]any)["rank"].(float64) != 6 {
+		t.Fatalf("offset page: %v", domains)
+	}
+	if int(body["offset"].(float64)) != 5 {
+		t.Fatalf("offset echo: %v", body["offset"])
+	}
+
+	// The final short page and a past-the-end offset (empty 200).
+	_, body = do(t, h, "GET", "/v1/domains?limit=10&offset="+strconv.Itoa(total-3), "")
+	if got := len(body["domains"].([]any)); got != 3 {
+		t.Fatalf("final page: %d rows, want 3", got)
+	}
+	_, body = do(t, h, "GET", "/v1/domains?offset="+strconv.Itoa(total+100), "")
+	if got := len(body["domains"].([]any)); got != 0 {
+		t.Fatalf("past-the-end offset: %d rows, want 0", got)
+	}
+
+	// Malformed parameters are 400s.
+	for _, q := range []string{"limit=-1", "limit=x", "offset=-2", "offset=x"} {
+		if rec, _ := do(t, h, "GET", "/v1/domains?"+q, ""); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, rec.Code)
+		}
 	}
 }
 
@@ -276,6 +331,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"ripki_serve_snapshot_serial 1",
 		"ripki_serve_snapshot_age_seconds",
 		"ripki_serve_uptime_seconds",
+		"# TYPE ripki_serve_mem_heap_alloc_bytes gauge",
+		"ripki_serve_mem_sys_bytes",
+		"ripki_serve_domain_table_bytes",
 		// NewFromWorld publishes the world's own payloads as source
 		// "world" with source serial 0.
 		`ripki_serve_source_update_age_seconds{source="world"}`,
@@ -319,23 +377,26 @@ func TestDomainVerdictAgainstDirectValidation(t *testing.T) {
 	s := testService(t)
 	sn := s.Current()
 	checked := 0
-	for _, e := range testTable.ordered {
-		if !e.wwwResolved || len(e.www) == 0 {
+	for i := int32(0); int(i) < testTable.Len(); i++ {
+		ids := testTable.wwwIDs(i)
+		if testTable.flags[i]&flagWWWResolved == 0 || len(ids) == 0 {
 			continue
 		}
-		verdict, ok := sn.Domain(e.name)
+		name := testTable.name(i)
+		verdict, ok := sn.Domain(name)
 		if !ok {
-			t.Fatalf("domain %s missing", e.name)
+			t.Fatalf("domain %s missing", name)
 		}
 		valid := 0
-		for _, po := range e.www {
+		for _, id := range ids {
+			po := testTable.routes[id]
 			if sn.Index.Validate(po.Prefix, po.Origin) == vrp.Valid {
 				valid++
 			}
 		}
-		wantProtected := valid == len(e.www)
+		wantProtected := valid == len(ids)
 		if verdict.WWW.Protected != wantProtected {
-			t.Fatalf("domain %s: Protected=%v, direct says %v", e.name, verdict.WWW.Protected, wantProtected)
+			t.Fatalf("domain %s: Protected=%v, direct says %v", name, verdict.WWW.Protected, wantProtected)
 		}
 		checked++
 		if checked >= 200 {
@@ -344,6 +405,11 @@ func TestDomainVerdictAgainstDirectValidation(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Fatal("no resolvable domains cross-checked")
+	}
+	// The route pool is deduplicated: strictly fewer unique routes than
+	// route references, and every reference resolves into the pool.
+	if u := testTable.UniqueRoutes(); u == 0 || u > len(testTable.routeIDs) {
+		t.Fatalf("unique routes %d vs %d references", u, len(testTable.routeIDs))
 	}
 }
 
@@ -372,7 +438,7 @@ func TestETagConditionalRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := s.Handler()
-	name := dt.Listing(1)[0].Name
+	name := dt.Listing(1, 0)[0].Name
 
 	for _, target := range []string{"/v1/snapshot", "/v1/domain/" + name} {
 		rec := rawGet(t, h, target, "")

@@ -21,8 +21,11 @@ import (
 func Generate(cfg Config) (*World, error) {
 	cfg = cfg.Defaults()
 	w := &World{
-		Cfg:         cfg,
-		Registry:    dns.NewRegistry(),
+		Cfg: cfg,
+		// Roughly a name for the apex, one for www (when not a CNAME of
+		// the apex), plus CDN edge/pool names: presizing near the final
+		// count keeps million-domain generation from rehashing the map.
+		Registry:    dns.NewRegistrySized(cfg.Domains*9/4 + 4096),
 		RIB:         rib.New(),
 		rnd:         rand.New(rand.NewSource(cfg.Seed)),
 		alloc:       newAllocator(),

@@ -3,11 +3,15 @@ package webworld
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"net/netip"
+	"runtime"
 	"strings"
+	"sync"
 
 	"ripki/internal/alexa"
 	"ripki/internal/dns"
+	"ripki/internal/strtab"
 )
 
 // cachePoolEntry is one CDN delivery hostname: the terminal name of
@@ -35,10 +39,10 @@ func (w *World) buildCachePools() map[string][]cachePoolEntry {
 				var p netip.Prefix
 				if w.rnd.Float64() < w.Cfg.ThirdPartyCacheShare {
 					isp := w.orgs.isps[w.rnd.Intn(len(w.orgs.isps))]
-					p = w.v4PrefixOf(isp)
+					p = w.v4PrefixOf(w.rnd, isp)
 					w.Stats.CacheInThirdParty++
 				} else {
-					p = w.v4PrefixOf(cdnOrg)
+					p = w.v4PrefixOf(w.rnd, cdnOrg)
 					w.Stats.CacheInCDNNetwork++
 				}
 				e.addrs = append(e.addrs, hostAddr(p, 1+w.rnd.Intn(4000)))
@@ -57,10 +61,11 @@ func (w *World) buildCachePools() map[string][]cachePoolEntry {
 	return pools
 }
 
-// v4PrefixOf picks a random IPv4 prefix of the organisation.
-func (w *World) v4PrefixOf(o *Org) netip.Prefix {
+// v4PrefixOf picks a random IPv4 prefix of the organisation, drawing
+// from the caller's stream (shards and fixtures each own one).
+func (w *World) v4PrefixOf(rnd *rand.Rand, o *Org) netip.Prefix {
 	for tries := 0; tries < 8; tries++ {
-		p := o.Prefixes[w.rnd.Intn(len(o.Prefixes))]
+		p := o.Prefixes[rnd.Intn(len(o.Prefixes))]
 		if p.Addr().Is4() {
 			return p
 		}
@@ -97,55 +102,115 @@ func (w *World) cdnShare(rank int) float64 {
 	return w.Cfg.CDNShareTop + (w.Cfg.CDNShareTail-w.Cfg.CDNShareTop)*t
 }
 
-// pickCDN selects a CDN by spec weight.
-func (w *World) pickCDN() *Org {
-	total := 0.0
-	for _, o := range w.orgs.cdns {
-		total += o.CDN.Weight
-	}
-	x := w.rnd.Float64() * total
-	for _, o := range w.orgs.cdns {
-		x -= o.CDN.Weight
-		if x <= 0 {
-			return o
-		}
-	}
-	return w.orgs.cdns[len(w.orgs.cdns)-1]
+// merge folds another shard's tallies in; addition commutes, so the
+// result is shard-count independent.
+func (s *Stats) merge(o Stats) {
+	s.PrefixesTotal += o.PrefixesTotal
+	s.PrefixesSigned += o.PrefixesSigned
+	s.ROAsIssued += o.ROAsIssued
+	s.ROAsMisconfigured += o.ROAsMisconfigured
+	s.DomainsCDN += o.DomainsCDN
+	s.DomainsBogusDNS += o.DomainsBogusDNS
+	s.DomainsDNSSEC += o.DomainsDNSSEC
+	s.AddrsUnreachable += o.AddrsUnreachable
+	s.CacheInThirdParty += o.CacheInThirdParty
+	s.CacheInCDNNetwork += o.CacheInCDNNetwork
 }
 
-// maybeUnreachable swaps an address for one in allocated-but-unannounced
-// space with the configured probability (paper: 0.01% of addresses are
-// not visible from the BGP vantage points).
-func (w *World) maybeUnreachable(a netip.Addr) netip.Addr {
-	if w.rnd.Float64() >= w.Cfg.UnreachableProb || len(w.orgs.unrouted) == 0 {
-		return a
-	}
-	w.Stats.AddrsUnreachable++
-	p := w.orgs.unrouted[w.rnd.Intn(len(w.orgs.unrouted))]
-	return hostAddr(p, 1+w.rnd.Intn(4000))
+// domainBuilder accumulates one shard's per-domain output: DNS records
+// and stat tallies go into private buffers, replayed into the shared
+// world in rank order after all shards finish. The rnd stream is
+// re-seeded per domain from (Seed, rank), which is the whole
+// determinism argument: no draw ever depends on which shard made it.
+type domainBuilder struct {
+	w     *World
+	rnd   *rand.Rand
+	names *strtab.Table
+	recs  []dns.RR
+	stats Stats
+}
+
+func (b *domainBuilder) add(rr dns.RR) { b.recs = append(b.recs, rr) }
+
+func (b *domainBuilder) addCNAME(name, target string, ttl uint32) {
+	b.recs = append(b.recs, dns.RR{Name: name, Type: dns.TypeCNAME, TTL: ttl, Target: target})
 }
 
 // buildDomains creates the ranked population and all web DNS records.
+// The per-domain phase is sharded: the ranked list is split into
+// contiguous ranges, each built concurrently into a private buffer.
+// Fixtures are order-coupled (they share a rotating covered-prefix
+// counter), so they are rebuilt sequentially afterwards.
 func (w *World) buildDomains() error {
-	names := domainNames(w.rnd, w.Cfg.Domains)
-	w.List = alexa.FromDomains(names)
 	pools := w.buildCachePools()
 
 	fixtures := make(map[int]topSite)
+	var fixtureList []topSite // ascending rank, as topSites guarantees
 	for _, ts := range topSites() {
 		if ts.rank <= w.Cfg.Domains {
 			fixtures[ts.rank] = ts
+			fixtureList = append(fixtureList, ts)
 		}
 	}
-	fixISPNext := 0
-	for _, e := range w.List.Entries() {
-		if ts, ok := fixtures[e.Rank]; ok {
-			if err := w.buildFixture(ts, &fixISPNext); err != nil {
-				return err
-			}
-			continue
+
+	n := w.Cfg.Domains
+	shards := w.Cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+
+	names := make([]string, n)
+	builders := make([]*domainBuilder, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo, hi := n*s/shards, n*(s+1)/shards
+		b := &domainBuilder{
+			w:     w,
+			rnd:   rand.New(new(sm64)),
+			names: strtab.NewSized(hi-lo, (hi-lo)*13),
+			recs:  make([]dns.RR, 0, (hi-lo)*7/2),
 		}
-		w.buildRegularDomain(e.Rank, e.Domain, pools)
+		builders[s] = b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []byte
+			for i := lo; i < hi; i++ {
+				rank := i + 1
+				if ts, ok := fixtures[rank]; ok {
+					names[i] = ts.name
+					continue
+				}
+				b.rnd.Seed(domainSeed(w.Cfg.Seed, rank))
+				scratch = appendDomain(scratch[:0], b.rnd, rank)
+				names[i] = b.names.Get(b.names.Append(scratch))
+				b.buildRegularDomain(rank, names[i], pools)
+			}
+		}()
+	}
+	wg.Wait()
+
+	w.List = alexa.FromDomains(names)
+	for _, b := range builders {
+		w.Registry.AddBatch(b.recs)
+		w.Stats.merge(b.stats)
+	}
+
+	// Fixture streams are also rank-derived, so their draws (covered vs
+	// CDN prefix picks) are shard-count independent too.
+	frnd := rand.New(new(sm64))
+	fixISPNext := 0
+	for _, ts := range fixtureList {
+		frnd.Seed(domainSeed(w.Cfg.Seed, ts.rank))
+		if err := w.buildFixture(frnd, ts, &fixISPNext); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -155,96 +220,130 @@ func (w *World) buildDomains() error {
 // future work compares against RPKI. Zone signing is operationally
 // independent of routing security, so the two deployments are
 // uncorrelated here by construction.
-func (w *World) maybeSignZone(domain string) {
-	p := w.Cfg.DNSSECBaseProb
-	for tld, boost := range w.Cfg.DNSSECTLDBoost {
+func (b *domainBuilder) maybeSignZone(domain string) {
+	cfg := &b.w.Cfg
+	p := cfg.DNSSECBaseProb
+	for tld, boost := range cfg.DNSSECTLDBoost {
 		if strings.HasSuffix(domain, tld) {
 			p = boost
 			break
 		}
 	}
-	if w.rnd.Float64() >= p {
+	if b.rnd.Float64() >= p {
 		return
 	}
-	w.Stats.DomainsDNSSEC++
+	b.stats.DomainsDNSSEC++
 	key := make([]byte, 32)
-	w.rnd.Read(key)
-	w.Registry.Add(dns.RR{
+	b.rnd.Read(key)
+	b.add(dns.RR{
 		Name: domain, Type: dns.TypeDNSKEY, TTL: 3600,
 		DNSKEY: &dns.DNSKEYData{Flags: 257, Protocol: 3, Algorithm: 8, PublicKey: key},
 	})
 }
 
-// buildRegularDomain provisions one generated domain.
-func (w *World) buildRegularDomain(rank int, domain string, pools map[string][]cachePoolEntry) {
+// pickCDN selects a CDN by spec weight.
+func (b *domainBuilder) pickCDN() *Org {
+	cdns := b.w.orgs.cdns
+	total := 0.0
+	for _, o := range cdns {
+		total += o.CDN.Weight
+	}
+	x := b.rnd.Float64() * total
+	for _, o := range cdns {
+		x -= o.CDN.Weight
+		if x <= 0 {
+			return o
+		}
+	}
+	return cdns[len(cdns)-1]
+}
+
+// maybeUnreachable swaps an address for one in allocated-but-unannounced
+// space with the configured probability (paper: 0.01% of addresses are
+// not visible from the BGP vantage points).
+func (b *domainBuilder) maybeUnreachable(a netip.Addr) netip.Addr {
+	w := b.w
+	if b.rnd.Float64() >= w.Cfg.UnreachableProb || len(w.orgs.unrouted) == 0 {
+		return a
+	}
+	b.stats.AddrsUnreachable++
+	p := w.orgs.unrouted[b.rnd.Intn(len(w.orgs.unrouted))]
+	return hostAddr(p, 1+b.rnd.Intn(4000))
+}
+
+// buildRegularDomain provisions one generated domain. All reads of
+// shared world state (orgs, config) are immutable by this phase; all
+// writes land in the builder.
+func (b *domainBuilder) buildRegularDomain(rank int, domain string, pools map[string][]cachePoolEntry) {
+	w := b.w
 	www := "www." + domain
-	w.maybeSignZone(domain)
+	b.maybeSignZone(domain)
 
 	// A small fraction of domains answer only with special-purpose
 	// addresses; the pipeline must exclude them (paper: 0.07%).
-	if w.rnd.Float64() < w.Cfg.BogusDNSProb {
-		w.Stats.DomainsBogusDNS++
-		bogus := netip.AddrFrom4([4]byte{127, 0, 0, byte(1 + w.rnd.Intn(200))})
-		if w.rnd.Intn(2) == 0 {
-			bogus = netip.AddrFrom4([4]byte{10, byte(w.rnd.Intn(256)), byte(w.rnd.Intn(256)), 5})
+	if b.rnd.Float64() < w.Cfg.BogusDNSProb {
+		b.stats.DomainsBogusDNS++
+		bogus := netip.AddrFrom4([4]byte{127, 0, 0, byte(1 + b.rnd.Intn(200))})
+		if b.rnd.Intn(2) == 0 {
+			bogus = netip.AddrFrom4([4]byte{10, byte(b.rnd.Intn(256)), byte(b.rnd.Intn(256)), 5})
 		}
-		w.Registry.Add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: bogus})
-		w.Registry.Add(dns.RR{Name: www, Type: dns.TypeA, TTL: 300, Addr: bogus})
+		b.add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: bogus})
+		b.add(dns.RR{Name: www, Type: dns.TypeA, TTL: 300, Addr: bogus})
 		return
 	}
 
-	if w.rnd.Float64() < w.cdnShare(rank) {
-		w.Stats.DomainsCDN++
-		w.buildCDNDomain(rank, domain, pools)
+	if b.rnd.Float64() < w.cdnShare(rank) {
+		b.stats.DomainsCDN++
+		b.buildCDNDomain(domain, pools)
 		return
 	}
 
 	// Origin hosting: servers at a webhoster (or eyeball ISP for the
 	// long tail of self-hosted sites).
-	org := w.orgs.hosters[w.rnd.Intn(len(w.orgs.hosters))]
-	if w.rnd.Float64() < 0.12 {
-		org = w.orgs.isps[w.rnd.Intn(len(w.orgs.isps))]
+	org := w.orgs.hosters[b.rnd.Intn(len(w.orgs.hosters))]
+	if b.rnd.Float64() < 0.12 {
+		org = w.orgs.isps[b.rnd.Intn(len(w.orgs.isps))]
 	}
-	prefixes := []netip.Prefix{w.v4PrefixOf(org)}
-	if rank <= 10000 && w.rnd.Float64() < w.Cfg.MultiPrefixTopShare {
+	prefixes := []netip.Prefix{w.v4PrefixOf(b.rnd, org)}
+	if rank <= 10000 && b.rnd.Float64() < w.Cfg.MultiPrefixTopShare {
 		// Prominent sites spread across prefixes — sometimes across a
 		// second organisation, which mixes RPKI postures (Table 1's
 		// partial coverage).
-		extra := 1 + w.rnd.Intn(2)
+		extra := 1 + b.rnd.Intn(2)
 		for i := 0; i < extra; i++ {
 			o2 := org
-			if w.rnd.Intn(2) == 0 {
-				o2 = w.orgs.hosters[w.rnd.Intn(len(w.orgs.hosters))]
+			if b.rnd.Intn(2) == 0 {
+				o2 = w.orgs.hosters[b.rnd.Intn(len(w.orgs.hosters))]
 			}
-			prefixes = append(prefixes, w.v4PrefixOf(o2))
+			prefixes = append(prefixes, w.v4PrefixOf(b.rnd, o2))
 		}
 	}
 	var addrs []netip.Addr
 	for _, p := range prefixes {
-		addrs = append(addrs, w.maybeUnreachable(hostAddr(p, 1+w.rnd.Intn(60000))))
+		addrs = append(addrs, b.maybeUnreachable(hostAddr(p, 1+b.rnd.Intn(60000))))
 	}
 	for _, a := range addrs {
-		w.Registry.Add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: a})
+		b.add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: a})
 	}
-	if v6 := w.v6PrefixOf(org); v6.IsValid() && w.rnd.Float64() < 0.15 {
-		a6 := hostAddr(v6, 1+w.rnd.Intn(60000))
-		w.Registry.Add(dns.RR{Name: domain, Type: dns.TypeAAAA, TTL: 300, Addr: a6})
+	if v6 := w.v6PrefixOf(org); v6.IsValid() && b.rnd.Float64() < 0.15 {
+		a6 := hostAddr(v6, 1+b.rnd.Intn(60000))
+		b.add(dns.RR{Name: domain, Type: dns.TypeAAAA, TTL: 300, Addr: a6})
 	}
 	switch {
-	case w.rnd.Float64() < 0.3:
+	case b.rnd.Float64() < 0.3:
 		// www as an alias of the apex (one indirection — still below
 		// the paper's two-CNAME CDN threshold).
-		w.Registry.AddCNAME(www, domain, 300)
-	case w.rnd.Float64() < 0.04:
+		b.addCNAME(www, domain, 300)
+	case b.rnd.Float64() < 0.04:
 		// Separate www infrastructure: some operators serve the two
 		// names from different networks entirely, one of Figure 1's
 		// sources of www/apex prefix divergence.
-		o2 := w.orgs.hosters[w.rnd.Intn(len(w.orgs.hosters))]
-		a := w.maybeUnreachable(hostAddr(w.v4PrefixOf(o2), 1+w.rnd.Intn(60000)))
-		w.Registry.Add(dns.RR{Name: www, Type: dns.TypeA, TTL: 300, Addr: a})
+		o2 := w.orgs.hosters[b.rnd.Intn(len(w.orgs.hosters))]
+		a := b.maybeUnreachable(hostAddr(w.v4PrefixOf(b.rnd, o2), 1+b.rnd.Intn(60000)))
+		b.add(dns.RR{Name: www, Type: dns.TypeA, TTL: 300, Addr: a})
 	default:
 		for _, a := range addrs {
-			w.Registry.Add(dns.RR{Name: www, Type: dns.TypeA, TTL: 300, Addr: a})
+			b.add(dns.RR{Name: www, Type: dns.TypeA, TTL: 300, Addr: a})
 		}
 	}
 }
@@ -253,42 +352,44 @@ func (w *World) buildRegularDomain(rank int, domain string, pools map[string][]c
 // a CNAME chain into the CDN, the apex stays at an origin host because
 // apex names cannot be CNAMEs (RFC 1034) — except for single-CNAME
 // anycast CDNs that front the apex with their own addresses.
-func (w *World) buildCDNDomain(rank int, domain string, pools map[string][]cachePoolEntry) {
+func (b *domainBuilder) buildCDNDomain(domain string, pools map[string][]cachePoolEntry) {
+	w := b.w
 	www := "www." + domain
-	cdnOrg := w.pickCDN()
+	cdnOrg := b.pickCDN()
 	spec := cdnOrg.CDN
 	pool := pools[spec.Name]
-	entry := pool[w.rnd.Intn(len(pool))]
+	entry := pool[b.rnd.Intn(len(pool))]
 
-	single := w.rnd.Float64() < w.Cfg.SingleCNAMEShare
+	single := b.rnd.Float64() < w.Cfg.SingleCNAMEShare
 	if single {
 		// www.domain → cache host (one CNAME; the indirection-counting
 		// heuristic misses it, pattern matching does not).
-		w.Registry.AddCNAME(www, entry.host, 300)
+		b.addCNAME(www, entry.host, 300)
 	} else {
 		// www.domain → customer edge name → cache host (two CNAMEs,
 		// like www.huffingtonpost.com → ...edgesuite.net → a495.g...).
 		suffix := spec.ServiceSuffixes[0]
 		edge := www + "." + suffix
-		w.Registry.AddCNAME(www, edge, 300)
-		w.Registry.AddCNAME(edge, entry.host, 300)
+		b.addCNAME(www, edge, 300)
+		b.addCNAME(edge, entry.host, 300)
 	}
 
-	if single && w.rnd.Float64() < 0.6 {
+	if single && b.rnd.Float64() < 0.6 {
 		// Anycast CDN fronts the apex too: same cache addresses.
 		for _, a := range entry.addrs {
-			w.Registry.Add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: a})
+			b.add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: a})
 		}
 		return
 	}
 	// Apex at the origin host.
-	org := w.orgs.hosters[w.rnd.Intn(len(w.orgs.hosters))]
-	a := w.maybeUnreachable(hostAddr(w.v4PrefixOf(org), 1+w.rnd.Intn(60000)))
-	w.Registry.Add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: a})
+	org := w.orgs.hosters[b.rnd.Intn(len(w.orgs.hosters))]
+	a := b.maybeUnreachable(hostAddr(w.v4PrefixOf(b.rnd, org), 1+b.rnd.Intn(60000)))
+	b.add(dns.RR{Name: domain, Type: dns.TypeA, TTL: 300, Addr: a})
 }
 
-// buildFixture realises one Table 1 row structurally.
-func (w *World) buildFixture(ts topSite, fixISPNext *int) error {
+// buildFixture realises one Table 1 row structurally, drawing from the
+// fixture's own rank-derived stream.
+func (w *World) buildFixture(rnd *rand.Rand, ts topSite, fixISPNext *int) error {
 	www := "www." + ts.name
 	coveredPrefix := func() netip.Prefix {
 		p := w.orgs.fixISP.Prefixes[*fixISPNext%len(w.orgs.fixISP.Prefixes)]
@@ -333,7 +434,7 @@ func (w *World) buildFixture(ts topSite, fixISPNext *int) error {
 		var addrs []netip.Addr
 		addrs = append(addrs, hostAddr(coveredPrefix(), 42))
 		for len(addrs) < ts.wwwTotal {
-			p := w.v4PrefixOf(cdnOrg)
+			p := w.v4PrefixOf(rnd, cdnOrg)
 			if used[p] {
 				continue
 			}
@@ -358,7 +459,7 @@ func (w *World) buildFixture(ts topSite, fixISPNext *int) error {
 		}
 		used := map[netip.Prefix]bool{}
 		for len(addrs) < ts.wwwTotal {
-			p := w.v4PrefixOf(cdnOrg)
+			p := w.v4PrefixOf(rnd, cdnOrg)
 			if used[p] {
 				continue
 			}
@@ -383,7 +484,7 @@ func (w *World) buildFixture(ts topSite, fixISPNext *int) error {
 	for i := len(apexAddrs); i < ts.apexTotal; i++ {
 		var p netip.Prefix
 		if ts.noWWW {
-			p = w.v4PrefixOf(cdnOrg)
+			p = w.v4PrefixOf(rnd, cdnOrg)
 		} else {
 			p = w.orgs.fixLegacy.Prefixes[(ts.rank+i)%len(w.orgs.fixLegacy.Prefixes)]
 		}

@@ -1,9 +1,8 @@
 package webworld
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
+	"strconv"
 )
 
 // topSite is a fixture for a prominent domain whose hosting profile
@@ -28,6 +27,8 @@ type topSite struct {
 // The generator realises each row structurally: covered prefixes belong
 // to ROA-signing organisations, uncovered ones to abstaining
 // organisations, and CDN-served www variants traverse CNAME chains.
+// Rows are in ascending rank order; sharded generation relies on that
+// to rebuild fixtures sequentially.
 func topSites() []topSite {
 	return []topSite{
 		{rank: 1, name: "google.com", cdn: "", wwwCovered: 0, wwwTotal: 4, apexCovered: 0, apexTotal: 4},
@@ -54,44 +55,22 @@ var tlds = []string{
 	".info", ".fr", ".it", ".nl", ".pl", ".br", ".jp", ".in", ".io",
 }
 
-// randomDomain builds a pronounceable unique domain for the given rank.
-// Uniqueness comes from embedding the rank in the syllable choice, with
-// random decoration.
-func randomDomain(rnd *rand.Rand, rank int) string {
-	var sb strings.Builder
+// appendDomain appends a pronounceable unique domain for the given rank
+// to dst and returns the extended slice. Uniqueness comes from embedding
+// the rank in the syllable choice, with random decoration; the
+// allocation-free shape lets shards build a million names straight into
+// their string-table slabs.
+func appendDomain(dst []byte, rnd *rand.Rand, rank int) []byte {
 	n := rank
 	for i := 0; i < 3; i++ {
-		sb.WriteString(nameSyllables[n%len(nameSyllables)])
+		dst = append(dst, nameSyllables[n%len(nameSyllables)]...)
 		n /= len(nameSyllables)
 	}
 	if n > 0 {
-		fmt.Fprintf(&sb, "%d", n)
+		dst = strconv.AppendInt(dst, int64(n), 10)
 	}
 	if rnd.Intn(4) == 0 {
-		sb.WriteString(nameSyllables[rnd.Intn(len(nameSyllables))])
+		dst = append(dst, nameSyllables[rnd.Intn(len(nameSyllables))]...)
 	}
-	sb.WriteString(tlds[rnd.Intn(len(tlds))])
-	return sb.String()
-}
-
-// domainNames produces the ranked population: fixtures at their pinned
-// ranks, generated names elsewhere.
-func domainNames(rnd *rand.Rand, total int) []string {
-	out := make([]string, total)
-	for _, ts := range topSites() {
-		if ts.rank-1 < total {
-			out[ts.rank-1] = ts.name
-		}
-	}
-	for i := range out {
-		if out[i] == "" {
-			out[i] = randomDomain(rnd, i+1)
-		}
-	}
-	return out
-}
-
-// cacheHost builds a CDN cache hostname like "e1234.g.edgesuite.wld".
-func cacheHost(rnd *rand.Rand, suffix string) string {
-	return fmt.Sprintf("e%04d.%c.%s", rnd.Intn(10000), 'a'+rune(rnd.Intn(6)), suffix)
+	return append(dst, tlds[rnd.Intn(len(tlds))]...)
 }

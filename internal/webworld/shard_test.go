@@ -1,0 +1,90 @@
+package webworld
+
+import (
+	"reflect"
+	"testing"
+
+	"ripki/internal/dns"
+)
+
+// TestShardCountInvariance is the determinism contract of sharded
+// generation: the world is byte-identical at every shard count, because
+// per-domain draws come from (Seed, rank)-derived streams. It compares
+// the full name list, every DNS record of every owner name, the RIB,
+// and the generation stats across shard counts straddling the range a
+// CI runner would pick for GOMAXPROCS.
+func TestShardCountInvariance(t *testing.T) {
+	gen := func(shards int) *World {
+		w, err := Generate(Config{Seed: 11, Domains: 3000, Shards: shards})
+		if err != nil {
+			t.Fatalf("Generate(shards=%d): %v", shards, err)
+		}
+		return w
+	}
+	base := gen(1)
+	baseNames := base.Registry.Names()
+	types := []uint16{dns.TypeA, dns.TypeAAAA, dns.TypeCNAME, dns.TypeNS, dns.TypeDNSKEY, dns.TypeTXT}
+
+	for _, shards := range []int{2, 3, 8} {
+		w := gen(shards)
+		if got, want := w.List.Len(), base.List.Len(); got != want {
+			t.Fatalf("shards=%d: %d domains, want %d", shards, got, want)
+		}
+		for i, e := range w.List.Entries() {
+			if be := base.List.Entries()[i]; e != be {
+				t.Fatalf("shards=%d: entry %d = %+v, want %+v", shards, i, e, be)
+			}
+		}
+		if w.Stats != base.Stats {
+			t.Fatalf("shards=%d: stats %+v, want %+v", shards, w.Stats, base.Stats)
+		}
+		if got, want := w.RIB.Len(), base.RIB.Len(); got != want {
+			t.Fatalf("shards=%d: RIB %d routes, want %d", shards, got, want)
+		}
+		if got := w.Registry.Names(); !reflect.DeepEqual(got, baseNames) {
+			t.Fatalf("shards=%d: registry owner names differ (%d vs %d)", shards, len(got), len(baseNames))
+		}
+		for _, name := range baseNames {
+			for _, typ := range types {
+				got, want := w.Registry.Lookup(name, typ), base.Registry.Lookup(name, typ)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d: records at %q type %d differ:\n got %+v\nwant %+v",
+						shards, name, typ, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardsIsNotPartOfIdentity pins the cache-key contract: Defaults
+// must leave Shards untouched, so configs differing only in parallelism
+// stay equal and shared-world caches keep hitting.
+func TestShardsIsNotPartOfIdentity(t *testing.T) {
+	a := Config{Seed: 1, Domains: 100}.Defaults()
+	b := Config{Seed: 1, Domains: 100, Shards: 7}.Defaults()
+	if a.Shards != 0 {
+		t.Fatalf("Defaults set Shards = %d, want 0 (resolved at generation time)", a.Shards)
+	}
+	b.Shards = 0
+	if !reflect.DeepEqual(a.DNSSECTLDBoost, b.DNSSECTLDBoost) {
+		t.Fatal("unrelated defaults differ")
+	}
+}
+
+// BenchmarkWorldgen gates generation throughput: one op generates a
+// 50k-domain world and reports domains/sec alongside the allocation
+// profile the baseline locks in.
+func BenchmarkWorldgen(b *testing.B) {
+	const domains = 50000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := Generate(Config{Seed: 1, Domains: domains})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.List.Len() != domains {
+			b.Fatalf("short list: %d", w.List.Len())
+		}
+	}
+	b.ReportMetric(float64(domains)*float64(b.N)/b.Elapsed().Seconds(), "domains/s")
+}

@@ -56,7 +56,10 @@ func (w *World) Snapshot() *Snapshot {
 // Clone returns a world that is safe to hand to one simulation: it
 // shares every immutable layer (ranked list, RIB, RPKI repository,
 // organisations, memoized validation) with the snapshot and deep-copies
-// the DNS registry, the one layer scenarios mutate. Clone is safe to
+// the DNS registry, the one layer scenarios mutate. The ranked list's
+// name strings are views into the per-shard generation slabs
+// (internal/strtab), shared by every clone — interning survives
+// cloning for free because strings are immutable. Clone is safe to
 // call concurrently.
 func (s *Snapshot) Clone() *World {
 	w := *s.base

@@ -86,6 +86,13 @@ type Config struct {
 	Seed int64
 	// Domains is the size of the ranked list (paper: 1,000,000).
 	Domains int
+	// Shards bounds the parallelism of the per-domain generation phase.
+	// The output is byte-identical at EVERY value — per-domain draws
+	// come from (Seed, rank)-derived streams, never from shard state —
+	// so this is purely a resource knob. Zero means GOMAXPROCS,
+	// resolved at generation time (deliberately not in Defaults, so
+	// config equality and cache keys ignore it).
+	Shards int
 	// Clock is the world's creation time; Epoch+30d is the usual
 	// measurement time.
 	Clock time.Time

@@ -13,8 +13,9 @@
 // — per-benchmark baseline/current/ratio plus the pass/fail verdict —
 // written on both pass and fail so CI can archive it as an artifact.
 //
-// The gate fails (exit 1) when any baselined benchmark's ns/op or B/op
-// worsens by more than -threshold (default 0.30 = +30%), or when a
+// The gate fails (exit 1) when any baselined benchmark's ns/op, B/op
+// or allocs/op worsens by more than -threshold (default 0.30 = +30%;
+// -ns-threshold and -allocs-threshold override per-axis), or when a
 // baselined benchmark is missing from the input (a silent rename or
 // deletion would otherwise retire its gate unnoticed). Benchmarks in
 // the input but not the baseline WARN, never fail: a new benchmark must
@@ -45,10 +46,15 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark's baselined observation.
+// Entry is one benchmark's baselined observation. AllocsPerOp is -1
+// when the observation carried no allocs/op column (and 0 in baselines
+// written before the allocation gate existed — both disable gating, so
+// an old baseline keeps passing until `make bench-baseline` refreshes
+// it with real counts).
 type Entry struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	BPerOp  float64 `json:"b_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // Baseline is the committed gate file.
@@ -85,7 +91,7 @@ func Parse(r io.Reader) (map[string]Entry, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
 		}
-		e := Entry{NsPerOp: ns, BPerOp: -1}
+		e := Entry{NsPerOp: ns, BPerOp: -1, AllocsPerOp: -1}
 		for _, field := range strings.Split(m[3], "\t") {
 			field = strings.TrimSpace(field)
 			if v, ok := strings.CutSuffix(field, " B/op"); ok {
@@ -95,6 +101,13 @@ func Parse(r io.Reader) (map[string]Entry, error) {
 				}
 				e.BPerOp = b
 			}
+			if v, ok := strings.CutSuffix(field, " allocs/op"); ok {
+				a, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchgate: bad allocs/op in %q: %w", sc.Text(), err)
+				}
+				e.AllocsPerOp = a
+			}
 		}
 		if prev, seen := out[name]; seen {
 			if prev.NsPerOp < e.NsPerOp {
@@ -102,6 +115,9 @@ func Parse(r io.Reader) (map[string]Entry, error) {
 			}
 			if prev.BPerOp >= 0 && (e.BPerOp < 0 || prev.BPerOp < e.BPerOp) {
 				e.BPerOp = prev.BPerOp
+			}
+			if prev.AllocsPerOp >= 0 && (e.AllocsPerOp < 0 || prev.AllocsPerOp < e.AllocsPerOp) {
+				e.AllocsPerOp = prev.AllocsPerOp
 			}
 		}
 		out[name] = e
@@ -119,12 +135,15 @@ func Parse(r io.Reader) (map[string]Entry, error) {
 // artifact. Ratios are current/baseline (1.0 = unchanged); B/op fields
 // are -1 when the observation carried none.
 type ReportBench struct {
-	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
-	CurrentNsPerOp  float64 `json:"current_ns_per_op"`
-	NsRatio         float64 `json:"ns_ratio"`
-	BaselineBPerOp  float64 `json:"baseline_b_per_op"`
-	CurrentBPerOp   float64 `json:"current_b_per_op"`
-	BRatio          float64 `json:"b_ratio"`
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op"`
+	CurrentNsPerOp      float64 `json:"current_ns_per_op"`
+	NsRatio             float64 `json:"ns_ratio"`
+	BaselineBPerOp      float64 `json:"baseline_b_per_op"`
+	CurrentBPerOp       float64 `json:"current_b_per_op"`
+	BRatio              float64 `json:"b_ratio"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op"`
+	CurrentAllocsPerOp  float64 `json:"current_allocs_per_op"`
+	AllocsRatio         float64 `json:"allocs_ratio"`
 	// Missing marks a baselined benchmark absent from the input (always
 	// a gate failure); its current fields are -1.
 	Missing bool `json:"missing,omitempty"`
@@ -134,11 +153,12 @@ type ReportBench struct {
 // run — the same verdict the human-readable output renders, in a shape
 // CI can archive and diff across runs.
 type Report struct {
-	Baseline    string                 `json:"baseline"`
-	NsThreshold float64                `json:"ns_threshold"`
-	BThreshold  float64                `json:"b_threshold"`
-	Pass        bool                   `json:"pass"`
-	Benchmarks  map[string]ReportBench `json:"benchmarks"`
+	Baseline        string                 `json:"baseline"`
+	NsThreshold     float64                `json:"ns_threshold"`
+	BThreshold      float64                `json:"b_threshold"`
+	AllocsThreshold float64                `json:"allocs_threshold"`
+	Pass            bool                   `json:"pass"`
+	Benchmarks      map[string]ReportBench `json:"benchmarks"`
 	// Unbaselined lists input benchmarks the baseline doesn't gate yet
 	// (warnings, never failures).
 	Unbaselined []string `json:"unbaselined,omitempty"`
@@ -147,19 +167,21 @@ type Report struct {
 
 // BuildReport assembles the -json artifact from the same inputs Compare
 // judges, plus Compare's verdict.
-func BuildReport(baselinePath string, base *Baseline, cur map[string]Entry, nsThr, bThr float64, failures []string) Report {
+func BuildReport(baselinePath string, base *Baseline, cur map[string]Entry, nsThr, bThr, allocsThr float64, failures []string) Report {
 	rep := Report{
-		Baseline:    baselinePath,
-		NsThreshold: nsThr,
-		BThreshold:  bThr,
-		Pass:        len(failures) == 0,
-		Benchmarks:  make(map[string]ReportBench, len(base.Benchmarks)),
-		Failures:    failures,
+		Baseline:        baselinePath,
+		NsThreshold:     nsThr,
+		BThreshold:      bThr,
+		AllocsThreshold: allocsThr,
+		Pass:            len(failures) == 0,
+		Benchmarks:      make(map[string]ReportBench, len(base.Benchmarks)),
+		Failures:        failures,
 	}
 	for name, b := range base.Benchmarks {
 		rb := ReportBench{
 			BaselineNsPerOp: b.NsPerOp, CurrentNsPerOp: -1, NsRatio: -1,
 			BaselineBPerOp: b.BPerOp, CurrentBPerOp: -1, BRatio: -1,
+			BaselineAllocsPerOp: b.AllocsPerOp, CurrentAllocsPerOp: -1, AllocsRatio: -1,
 		}
 		if c, ok := cur[name]; ok {
 			rb.CurrentNsPerOp = c.NsPerOp
@@ -169,6 +191,10 @@ func BuildReport(baselinePath string, base *Baseline, cur map[string]Entry, nsTh
 			rb.CurrentBPerOp = c.BPerOp
 			if b.BPerOp > 0 && c.BPerOp >= 0 {
 				rb.BRatio = c.BPerOp / b.BPerOp
+			}
+			rb.CurrentAllocsPerOp = c.AllocsPerOp
+			if b.AllocsPerOp > 0 && c.AllocsPerOp >= 0 {
+				rb.AllocsRatio = c.AllocsPerOp / b.AllocsPerOp
 			}
 		} else {
 			rb.Missing = true
@@ -191,8 +217,11 @@ func BuildReport(baselinePath string, base *Baseline, cur map[string]Entry, nsTh
 // informational report. nsThreshold and bThreshold are the allowed
 // fractional regressions for ns/op and B/op — separate because B/op is
 // deterministic across machines while ns/op tracks the hardware that
-// wrote the baseline.
-func Compare(base *Baseline, cur map[string]Entry, nsThreshold, bThreshold float64) (failures, warnings, report []string) {
+// wrote the baseline. allocsThreshold gates allocs/op the same way as
+// B/op — only for baselines that recorded a positive count, so old
+// baselines (and benchmarks without -benchmem) stay ungated until the
+// next refresh.
+func Compare(base *Baseline, cur map[string]Entry, nsThreshold, bThreshold, allocsThreshold float64) (failures, warnings, report []string) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -221,6 +250,15 @@ func Compare(base *Baseline, cur map[string]Entry, nsThreshold, bThreshold float
 					name, (bRatio-1)*100, b.BPerOp, c.BPerOp, bThreshold*100))
 			}
 		}
+		if b.AllocsPerOp > 0 && c.AllocsPerOp >= 0 {
+			aRatio := c.AllocsPerOp / b.AllocsPerOp
+			report = append(report, fmt.Sprintf("%-55s allocs/op %8.0f -> %12.0f (%+.1f%%)",
+				name, b.AllocsPerOp, c.AllocsPerOp, (aRatio-1)*100))
+			if aRatio > 1+allocsThreshold {
+				failures = append(failures, fmt.Sprintf("%s: allocs/op regressed %.1f%% (%.0f -> %.0f, threshold %.0f%%)",
+					name, (aRatio-1)*100, b.AllocsPerOp, c.AllocsPerOp, allocsThreshold*100))
+			}
+		}
 	}
 	extra := make([]string, 0)
 	for name := range cur {
@@ -239,8 +277,9 @@ func main() {
 	var (
 		check       = flag.String("check", "", "baseline JSON to compare stdin against")
 		write       = flag.String("write", "", "baseline JSON to (over)write from stdin")
-		threshold   = flag.Float64("threshold", 0.30, "allowed fractional regression for ns/op and B/op")
+		threshold   = flag.Float64("threshold", 0.30, "allowed fractional regression for ns/op, B/op and allocs/op")
 		nsThreshold = flag.Float64("ns-threshold", -1, "override -threshold for ns/op only (CI uses a looser value to absorb hardware differences from the baseline machine)")
+		allocsThr   = flag.Float64("allocs-threshold", -1, "override -threshold for allocs/op only (allocation counts are deterministic, so this can be tighter than the time gate)")
 		jsonOut     = flag.String("json", "", "with -check: also write the comparison as a machine-readable JSON report to this file (written on pass and fail, for CI artifacts)")
 	)
 	flag.Parse()
@@ -290,11 +329,15 @@ func main() {
 	if *nsThreshold >= 0 {
 		nsThr = *nsThreshold
 	}
-	failures, warnings, report := Compare(&base, cur, nsThr, *threshold)
+	aThr := *threshold
+	if *allocsThr >= 0 {
+		aThr = *allocsThr
+	}
+	failures, warnings, report := Compare(&base, cur, nsThr, *threshold, aThr)
 	// The JSON artifact is written before the verdict exits, so CI can
 	// archive it for failing runs too — that's when it matters most.
 	if *jsonOut != "" {
-		rep := BuildReport(*check, &base, cur, nsThr, *threshold, failures)
+		rep := BuildReport(*check, &base, cur, nsThr, *threshold, aThr, failures)
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -320,6 +363,6 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d gated benchmarks within thresholds (ns/op %.0f%%, B/op %.0f%%)\n",
-		len(base.Benchmarks), nsThr*100, *threshold*100)
+	fmt.Printf("benchgate: %d gated benchmarks within thresholds (ns/op %.0f%%, B/op %.0f%%, allocs/op %.0f%%)\n",
+		len(base.Benchmarks), nsThr*100, *threshold*100, aThr*100)
 }

@@ -34,10 +34,16 @@ func TestParseFoldsBestOf(t *testing.T) {
 	if sweep.BPerOp != 1017605704 {
 		t.Errorf("B/op not folded to min: %v", sweep.BPerOp)
 	}
+	if sweep.AllocsPerOp != 6232998 {
+		t.Errorf("allocs/op not folded to min: %v", sweep.AllocsPerOp)
+	}
 	// Custom metrics between ns/op and B/op don't confuse the parser,
 	// and a name with no GOMAXPROCS suffix survives normalisation.
 	if got["BenchmarkSimTick"].BPerOp != 131072 {
 		t.Errorf("SimTick B/op: %v", got["BenchmarkSimTick"].BPerOp)
+	}
+	if got["BenchmarkSimTick"].AllocsPerOp != 2048 {
+		t.Errorf("SimTick allocs/op: %v", got["BenchmarkSimTick"].AllocsPerOp)
 	}
 	if len(got) != 3 {
 		t.Errorf("parsed %d benchmarks, want 3", len(got))
@@ -60,7 +66,7 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkSweep/workers=4": {NsPerOp: 1200, BPerOp: 480},
 		"BenchmarkSimTick":         {NsPerOp: 90, BPerOp: 50},
 	}
-	if failures, _, _ := Compare(base, ok, 0.30, 0.30); len(failures) != 0 {
+	if failures, _, _ := Compare(base, ok, 0.30, 0.30, 0.30); len(failures) != 0 {
 		t.Errorf("in-threshold run failed the gate: %v", failures)
 	}
 	// A synthetic 2× slowdown on one benchmark: fails.
@@ -68,7 +74,7 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkSweep/workers=4": {NsPerOp: 2000, BPerOp: 500},
 		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
 	}
-	failures, _, _ := Compare(base, slow, 0.30, 0.30)
+	failures, _, _ := Compare(base, slow, 0.30, 0.30, 0.30)
 	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op regressed 100.0%") {
 		t.Errorf("2x slowdown not caught: %v", failures)
 	}
@@ -77,20 +83,20 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkSweep/workers=4": {NsPerOp: 1000, BPerOp: 800},
 		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
 	}
-	if failures, _, _ := Compare(base, alloc, 0.30, 0.30); len(failures) != 1 {
+	if failures, _, _ := Compare(base, alloc, 0.30, 0.30, 0.30); len(failures) != 1 {
 		t.Errorf("B/op regression not caught: %v", failures)
 	}
 	// Split thresholds, the CI shape: a loose ns/op gate (absorbing
 	// hardware skew from the baseline machine) still fails a 2×
 	// slowdown and keeps B/op tight.
-	if failures, _, _ := Compare(base, slow, 0.75, 0.30); len(failures) != 1 {
+	if failures, _, _ := Compare(base, slow, 0.75, 0.30, 0.30); len(failures) != 1 {
 		t.Errorf("2x slowdown passed the loose ns gate: %v", failures)
 	}
 	skewed := map[string]Entry{
 		"BenchmarkSweep/workers=4": {NsPerOp: 1500, BPerOp: 800}, // ns +50% (machine skew), B/op +60% (real)
 		"BenchmarkSimTick":         {NsPerOp: 150, BPerOp: 50},
 	}
-	failures, _, _ = Compare(base, skewed, 0.75, 0.30)
+	failures, _, _ = Compare(base, skewed, 0.75, 0.30, 0.30)
 	if len(failures) != 1 || !strings.Contains(failures[0], "B/op regressed") {
 		t.Errorf("split thresholds: want the B/op failure alone, got %v", failures)
 	}
@@ -98,7 +104,7 @@ func TestCompareGate(t *testing.T) {
 	missing := map[string]Entry{
 		"BenchmarkSimTick": {NsPerOp: 100, BPerOp: 50},
 	}
-	if failures, _, _ := Compare(base, missing, 0.30, 0.30); len(failures) != 1 {
+	if failures, _, _ := Compare(base, missing, 0.30, 0.30, 0.30); len(failures) != 1 {
 		t.Errorf("missing benchmark not caught: %v", failures)
 	}
 	// New benchmarks not yet baselined warn, never fail — the landing
@@ -108,7 +114,7 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
 		"BenchmarkNew":             {NsPerOp: 7, BPerOp: 7},
 	}
-	failures, warnings, _ := Compare(base, extra, 0.30, 0.30)
+	failures, warnings, _ := Compare(base, extra, 0.30, 0.30, 0.30)
 	if len(failures) != 0 {
 		t.Errorf("unbaselined benchmark failed the gate: %v", failures)
 	}
@@ -118,8 +124,55 @@ func TestCompareGate(t *testing.T) {
 		t.Errorf("unbaselined benchmark did not warn: %v", warnings)
 	}
 	// A fully-baselined run warns about nothing.
-	if _, warnings, _ := Compare(base, ok, 0.30, 0.30); len(warnings) != 0 {
+	if _, warnings, _ := Compare(base, ok, 0.30, 0.30, 0.30); len(warnings) != 0 {
 		t.Errorf("spurious warnings: %v", warnings)
+	}
+}
+
+// TestCompareAllocsGate: allocation counts gate independently of bytes
+// and time, with their own threshold — and only when the baseline
+// recorded a positive count, so baselines written before the allocation
+// gate existed (AllocsPerOp zero-valued on decode) stay ungated.
+func TestCompareAllocsGate(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkGated":   {NsPerOp: 1000, BPerOp: 500, AllocsPerOp: 100},
+		"BenchmarkLegacy":  {NsPerOp: 1000, BPerOp: 500}, // pre-gate baseline: no allocs recorded
+		"BenchmarkNoMemOp": {NsPerOp: 1000, BPerOp: -1, AllocsPerOp: -1},
+	}}
+	// allocs/op doubled while ns/op and B/op held: only the allocs gate
+	// trips, and only on the benchmark whose baseline carries a count.
+	cur := map[string]Entry{
+		"BenchmarkGated":   {NsPerOp: 1000, BPerOp: 500, AllocsPerOp: 200},
+		"BenchmarkLegacy":  {NsPerOp: 1000, BPerOp: 500, AllocsPerOp: 999999},
+		"BenchmarkNoMemOp": {NsPerOp: 1000, BPerOp: -1, AllocsPerOp: -1},
+	}
+	failures, _, _ := Compare(base, cur, 0.30, 0.30, 0.30)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkGated: allocs/op regressed 100.0%") {
+		t.Errorf("allocs regression not isolated: %v", failures)
+	}
+	// A dedicated looser allocs threshold absorbs the same doubling.
+	if failures, _, _ := Compare(base, cur, 0.30, 0.30, 1.50); len(failures) != 0 {
+		t.Errorf("loose allocs threshold still failed: %v", failures)
+	}
+	// Within threshold: passes, and the report carries the allocs line.
+	ok := map[string]Entry{
+		"BenchmarkGated":   {NsPerOp: 1000, BPerOp: 500, AllocsPerOp: 110},
+		"BenchmarkLegacy":  {NsPerOp: 1000, BPerOp: 500, AllocsPerOp: 7},
+		"BenchmarkNoMemOp": {NsPerOp: 1000, BPerOp: -1, AllocsPerOp: -1},
+	}
+	failures, _, report := Compare(base, ok, 0.30, 0.30, 0.30)
+	if len(failures) != 0 {
+		t.Errorf("in-threshold allocs failed the gate: %v", failures)
+	}
+	var allocLines int
+	for _, line := range report {
+		if strings.Contains(line, "allocs/op") {
+			allocLines++
+		}
+	}
+	if allocLines != 1 {
+		t.Errorf("want exactly one allocs/op report line (the gated benchmark), got %d:\n%s",
+			allocLines, strings.Join(report, "\n"))
 	}
 }
 
@@ -135,8 +188,8 @@ func TestBuildReport(t *testing.T) {
 		"BenchmarkSweep/workers=4": {NsPerOp: 2000, BPerOp: 400},
 		"BenchmarkNew":             {NsPerOp: 7, BPerOp: 7},
 	}
-	failures, _, _ := Compare(base, cur, 0.30, 0.30)
-	rep := BuildReport("BENCH_baseline.json", base, cur, 0.30, 0.30, failures)
+	failures, _, _ := Compare(base, cur, 0.30, 0.30, 0.30)
+	rep := BuildReport("BENCH_baseline.json", base, cur, 0.30, 0.30, 0.30, failures)
 
 	if rep.Pass {
 		t.Error("report passes despite failures")
@@ -176,8 +229,8 @@ func TestBuildReport(t *testing.T) {
 		"BenchmarkSweep/workers=4": {NsPerOp: 1000, BPerOp: 500},
 		"BenchmarkSimTick":         {NsPerOp: 100, BPerOp: 50},
 	}
-	cleanFailures, _, _ := Compare(base, clean, 0.30, 0.30)
-	if rep := BuildReport("b.json", base, clean, 0.30, 0.30, cleanFailures); !rep.Pass || len(rep.Failures) != 0 || len(rep.Unbaselined) != 0 {
+	cleanFailures, _, _ := Compare(base, clean, 0.30, 0.30, 0.30)
+	if rep := BuildReport("b.json", base, clean, 0.30, 0.30, 0.30, cleanFailures); !rep.Pass || len(rep.Failures) != 0 || len(rep.Unbaselined) != 0 {
 		t.Errorf("clean report: %+v", rep)
 	}
 }
