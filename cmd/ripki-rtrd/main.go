@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"ripki/internal/obs"
 	"ripki/internal/rpki/vrp"
@@ -24,12 +26,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ripki-rtrd: ")
 	var (
-		listen  = flag.String("listen", "127.0.0.1:8282", "RTR listen address")
-		vrpFile = flag.String("vrps", "", "VRP CSV file to serve (instead of generating a world)")
-		domains = flag.Int("domains", 20000, "world size when generating")
-		seed    = flag.Int64("seed", 1, "world generation seed")
-		session = flag.Uint("session", 911, "RTR session ID")
-		pprofAt = flag.String("pprof", "", `serve the runtime profiles (/debug/pprof/) over HTTP on this address (e.g. "127.0.0.1:6060"); off when empty`)
+		listen    = flag.String("listen", "127.0.0.1:8282", "RTR listen address")
+		vrpFile   = flag.String("vrps", "", "VRP CSV file to serve (instead of generating a world)")
+		domains   = flag.Int("domains", 20000, "world size when generating")
+		seed      = flag.Int64("seed", 1, "world generation seed")
+		session   = flag.Uint("session", 911, "RTR session ID")
+		pprofAt   = flag.String("pprof", "", `serve the runtime profiles (/debug/pprof/) over HTTP on this address (e.g. "127.0.0.1:6060"); off when empty`)
+		metricsAt = flag.String("metrics", "", `serve Prometheus metrics (/metrics: build info, uptime, serial, VRP count) over HTTP on this address; off when empty`)
 	)
 	flag.Parse()
 
@@ -72,6 +75,32 @@ func main() {
 	fmt.Printf("serving %d VRPs over RTR on %s (session %d)\n", set.Len(), ln.Addr(), *session)
 	srv := rtr.NewServer(set, uint16(*session))
 	srv.Logf = log.Printf
+
+	if *metricsAt != "" {
+		start := time.Now()
+		reg := obs.NewRegistry()
+		obs.RegisterBuildInfo(reg)
+		reg.GaugeFunc("ripki_rtrd_uptime_seconds", "Seconds since the cache started.",
+			func() float64 { return time.Since(start).Seconds() })
+		reg.GaugeFunc("ripki_rtrd_serial", "Current RTR serial of the served payload set.",
+			func() float64 { return float64(srv.Serial()) })
+		vrps := set.Len()
+		reg.GaugeFunc("ripki_rtrd_vrps", "VRPs in the served payload set.",
+			func() float64 { return float64(vrps) })
+		mln, err := net.Listen("tcp", *metricsAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+	}
 	if err := srv.Serve(ln); err != nil {
 		log.Fatal(err)
 	}

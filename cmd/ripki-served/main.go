@@ -9,8 +9,8 @@
 //	ripki-served -scenario hijack-window+rp-lag         # replay a compound incident live
 //
 // Endpoints: POST/GET /v1/validate, GET /v1/domain/{name},
-// GET /v1/domains, GET /v1/snapshot, GET /healthz, GET /metrics.
-// See docs/serve.md.
+// GET /v1/domains, GET /v1/snapshot, GET /v1/events, GET /healthz,
+// GET /metrics. See docs/serve.md.
 //
 // Exit codes: 0 on clean shutdown (SIGINT/SIGTERM) and for -h; 2 on
 // usage errors; 1 on runtime failures.
@@ -85,6 +85,7 @@ func configure(args []string, stderr io.Writer) (*daemon, error) {
 		simTick     = fs.Duration("sim-tick", 30*time.Second, "virtual tick granularity of the scenario")
 		simDuration = fs.Duration("sim-duration", 30*time.Minute, "virtual horizon of the scenario")
 		pprofFlag   = fs.Bool("pprof", false, "also serve the runtime profiles under /debug/pprof/ on the main listener")
+		maxStale    = fs.Duration("health-max-staleness", 0, "answer 503 (degraded) on /healthz when a live update source has not published for this long; 0 disables")
 	)
 	fs.Var(params, "param", "scenario parameter key=value (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -117,6 +118,7 @@ func configure(args []string, stderr io.Writer) (*daemon, error) {
 		return nil, err
 	}
 	svc := serve.New(table)
+	svc.SetHealthMaxStaleness(*maxStale)
 
 	// The initial snapshot: a CSV export if given, the world's own
 	// validated payloads otherwise. An RTR-fed service may skip both

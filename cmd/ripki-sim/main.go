@@ -56,7 +56,8 @@ func main() {
 		sampleEvery   = flag.Int("sample-every", 2, "probe cadence in ticks")
 		sampleDomains = flag.Int("sample-domains", 1500, "probe's stratified domain sample size")
 		format        = flag.String("format", "tsv", `output format: "tsv" or "json"`)
-		events        = flag.Bool("events", false, "narrate bus events to stderr while running")
+		narrate       = flag.Bool("narrate", false, "narrate bus events to stderr while running")
+		eventsPath    = flag.String("events", "", "write the typed incident stream (hijacks, ROA moves, outages, RP lag episodes) to this file as JSONL (virtual-clock timestamps; byte-identical for the same seed and flags)")
 		tracePath     = flag.String("trace", "", "write a structured trace of the run to this file (virtual-clock timestamps; byte-identical for the same seed and flags)")
 		traceFormat   = flag.String("trace-format", "jsonl", `trace export format: "jsonl" (one event per line) or "chrome" (chrome://tracing / Perfetto)`)
 	)
@@ -86,8 +87,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer sim.Close()
-	if *events {
+	if *narrate {
 		sim.Bus.SubscribeAll(func(e ripki.SimEvent) { fmt.Fprintln(os.Stderr, e) })
+	}
+	var incidents *ripki.IncidentLog
+	if *eventsPath != "" {
+		incidents = &ripki.IncidentLog{}
+		sim.AttachIncidents(incidents.Add)
 	}
 	var trace *ripki.Trace
 	if *tracePath != "" {
@@ -97,6 +103,18 @@ func main() {
 	series, err := sim.Run()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if incidents != nil {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := incidents.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if trace != nil {
 		// Close first: it spans out any hijacks still active at the

@@ -109,32 +109,14 @@ func (c *Coordinator) Progress() Progress {
 			Leased:    st.byWorker[name],
 			Completed: ws.completed,
 		}
-		lifetime := now.Sub(ws.since)
-		if !ws.connected {
-			lifetime = ws.last.Sub(ws.since)
-		}
-		if lifetime > 0 {
-			w.CellsPerSecond = float64(ws.completed) / lifetime.Seconds()
-		}
-		w.ConnectedSeconds = lifetime.Seconds()
+		w.CellsPerSecond, w.ConnectedSeconds = workerThroughput(ws, now)
 		p.Workers = append(p.Workers, w)
 	}
 	journaled, lastJournal := c.journaled, c.lastJournal
 	c.mu.Unlock()
 
-	live := st.done - c.resumed
-	if live > 0 && uptime > 0 {
-		p.RateCellsPerSecond = float64(live) / uptime.Seconds()
-	}
-	remaining := len(c.plan.Cells) - st.done
-	switch {
-	case remaining == 0:
-		p.ETASeconds = 0
-	case p.RateCellsPerSecond > 0:
-		p.ETASeconds = float64(remaining) / p.RateCellsPerSecond
-	default:
-		p.ETASeconds = -1
-	}
+	p.RateCellsPerSecond = liveRate(st.done, c.resumed, uptime)
+	p.ETASeconds = etaSeconds(len(c.plan.Cells)-st.done, p.RateCellsPerSecond)
 
 	if c.journal != nil {
 		cp := &ProgressCheckpoint{Journaled: journaled, Lag: st.done - journaled, LastWriteAgeSeconds: -1}
@@ -147,6 +129,47 @@ func (c *Coordinator) Progress() Progress {
 		p.Checkpoint = cp
 	}
 	return p
+}
+
+// liveRate is this run's throughput in cells/second: cells completed
+// since startup — resumed (journal-loaded) cells excluded, they cost
+// this run nothing — over the coordinator's uptime. 0 until the first
+// live completion.
+func liveRate(done, resumed int, uptime time.Duration) float64 {
+	live := done - resumed
+	if live <= 0 || uptime <= 0 {
+		return 0
+	}
+	return float64(live) / uptime.Seconds()
+}
+
+// etaSeconds extrapolates the live rate over the remaining cells: 0
+// when nothing remains, -1 while the rate is still zero (no estimate
+// is honest before the first live completion).
+func etaSeconds(remaining int, rate float64) float64 {
+	switch {
+	case remaining <= 0:
+		return 0
+	case rate > 0:
+		return float64(remaining) / rate
+	default:
+		return -1
+	}
+}
+
+// workerThroughput is one worker's lease throughput: completed cells
+// over its connected lifetime, where the lifetime clock freezes at
+// disconnect (a gone worker's rate must not decay toward zero as wall
+// time passes). Call with the coordinator's mutex held.
+func workerThroughput(ws *workerStat, now time.Time) (cellsPerSecond, connectedSeconds float64) {
+	lifetime := now.Sub(ws.since)
+	if !ws.connected {
+		lifetime = ws.last.Sub(ws.since)
+	}
+	if lifetime > 0 {
+		cellsPerSecond = float64(ws.completed) / lifetime.Seconds()
+	}
+	return cellsPerSecond, lifetime.Seconds()
 }
 
 // Handler returns the coordinator's HTTP surface: GET /progress (the
@@ -173,6 +196,7 @@ func (c *Coordinator) Handler(pprof bool) http.Handler {
 // time.
 func (c *Coordinator) buildRegistry() {
 	r := obs.NewRegistry()
+	obs.RegisterBuildInfo(r)
 	r.GaugeFunc("ripki_sweep_uptime_seconds", "Seconds since the coordinator started.",
 		func() float64 { return time.Since(c.started).Seconds() })
 	r.GaugeFunc("ripki_sweep_cells_total", "Cells in the expanded plan.",

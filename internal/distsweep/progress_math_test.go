@@ -1,0 +1,75 @@
+package distsweep
+
+import (
+	"testing"
+	"time"
+)
+
+// The /progress arithmetic is load-bearing for operators deciding
+// whether to add workers mid-sweep, so its edges are pinned here:
+// resumed-cell exclusion, the zero-rate and nothing-remaining ETAs, and
+// the frozen-lifetime worker throughput.
+
+func TestLiveRateExcludesResumed(t *testing.T) {
+	// 100 done, 40 loaded from the journal: only 60 were computed this
+	// run, over 30s of uptime.
+	if got, want := liveRate(100, 40, 30*time.Second), 2.0; got != want {
+		t.Errorf("liveRate(100, 40, 30s) = %v, want %v", got, want)
+	}
+	// All completions resumed: the run itself has produced nothing yet.
+	if got := liveRate(40, 40, 30*time.Second); got != 0 {
+		t.Errorf("liveRate(40, 40, 30s) = %v, want 0", got)
+	}
+	// Degenerate clocks must not divide by zero or go negative.
+	if got := liveRate(10, 0, 0); got != 0 {
+		t.Errorf("liveRate(10, 0, 0) = %v, want 0", got)
+	}
+	if got := liveRate(10, 20, 30*time.Second); got != 0 {
+		t.Errorf("liveRate with resumed > done = %v, want 0", got)
+	}
+}
+
+func TestETASecondsEdges(t *testing.T) {
+	// Normal extrapolation: 120 cells at 4 cells/s.
+	if got, want := etaSeconds(120, 4), 30.0; got != want {
+		t.Errorf("etaSeconds(120, 4) = %v, want %v", got, want)
+	}
+	// Zero rate with work remaining: no honest estimate yet.
+	if got := etaSeconds(120, 0); got != -1 {
+		t.Errorf("etaSeconds(120, 0) = %v, want -1", got)
+	}
+	// Done: ETA is zero even though the rate is zero.
+	if got := etaSeconds(0, 0); got != 0 {
+		t.Errorf("etaSeconds(0, 0) = %v, want 0", got)
+	}
+	if got := etaSeconds(0, 4); got != 0 {
+		t.Errorf("etaSeconds(0, 4) = %v, want 0", got)
+	}
+}
+
+func TestWorkerThroughputAccounting(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+
+	// Connected worker: lifetime runs to now.
+	ws := &workerStat{connected: true, since: base, completed: 30}
+	rate, lifetime := workerThroughput(ws, base.Add(10*time.Second))
+	if rate != 3 || lifetime != 10 {
+		t.Errorf("connected worker: rate %v lifetime %v, want 3 and 10", rate, lifetime)
+	}
+
+	// Disconnected worker: the clock froze at last; wall time moving on
+	// must not dilute its rate.
+	ws = &workerStat{connected: false, since: base, last: base.Add(20 * time.Second), completed: 10}
+	rate, lifetime = workerThroughput(ws, base.Add(10*time.Minute))
+	if rate != 0.5 || lifetime != 20 {
+		t.Errorf("disconnected worker: rate %v lifetime %v, want 0.5 and 20", rate, lifetime)
+	}
+
+	// A worker observed at its connection instant has no lifetime yet:
+	// rate 0, not NaN/Inf.
+	ws = &workerStat{connected: true, since: base, completed: 5}
+	rate, lifetime = workerThroughput(ws, base)
+	if rate != 0 || lifetime != 0 {
+		t.Errorf("zero-lifetime worker: rate %v lifetime %v, want 0 and 0", rate, lifetime)
+	}
+}

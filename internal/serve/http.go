@@ -25,6 +25,7 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("GET /v1/domain/{name}", s.instrument("domain", s.handleDomain))
 	mux.Handle("GET /v1/domains", s.instrument("domains", s.handleDomains))
 	mux.Handle("GET /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.Handle("GET /v1/events", s.instrument("events", s.handleEvents))
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
@@ -331,11 +332,55 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}{"starting"})
 		return
 	}
+	if source, age, stale := s.staleSource(); stale {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status     string  `json:"status"`
+			Reason     string  `json:"reason"`
+			Source     string  `json:"source"`
+			AgeSeconds float64 `json:"age_seconds"`
+			MaxSeconds float64 `json:"max_seconds"`
+			Serial     uint64  `json:"serial"`
+		}{
+			Status:     "degraded",
+			Reason:     fmt.Sprintf("source %q has not published for %.1fs (max %.1fs)", source, age.Seconds(), s.healthMaxStaleness.Seconds()),
+			Source:     source,
+			AgeSeconds: age.Seconds(),
+			MaxSeconds: s.healthMaxStaleness.Seconds(),
+			Serial:     sn.Serial,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
 		Serial uint64 `json:"serial"`
 		VRPs   int    `json:"vrps"`
 	}{"ok", sn.Serial, sn.Index.Len()})
+}
+
+// staleSource reports the live source with the largest update age
+// exceeding the configured maximum, if any. Before a live source's
+// first publish its age runs from registration, so a source that never
+// syncs still degrades health instead of hiding forever.
+func (s *Service) staleSource() (string, time.Duration, bool) {
+	if s.healthMaxStaleness <= 0 {
+		return "", 0, false
+	}
+	var worstName string
+	var worstAge time.Duration
+	s.liveSources.Range(func(k, v any) bool {
+		name := k.(string)
+		last := v.(time.Time) // registration time
+		if st, ok := s.sources.Load(name); ok {
+			if ns := st.(*sourceStat).lastNS.Load(); ns > last.UnixNano() {
+				last = time.Unix(0, ns)
+			}
+		}
+		if age := time.Since(last); age > s.healthMaxStaleness && age > worstAge {
+			worstName, worstAge = name, age
+		}
+		return true
+	})
+	return worstName, worstAge, worstName != ""
 }
 
 // handleMetrics is the Prometheus scrape endpoint (text exposition

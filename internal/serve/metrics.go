@@ -101,7 +101,7 @@ type metrics struct {
 
 // endpointNames is the fixed instrumentation vocabulary; instrument
 // panics on anything else, catching typos at test time.
-var endpointNames = []string{"validate", "domain", "domains", "snapshot", "healthz", "metrics"}
+var endpointNames = []string{"validate", "domain", "domains", "snapshot", "events", "healthz", "metrics"}
 
 func newMetrics() *metrics {
 	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpointNames))}
@@ -143,6 +143,15 @@ type sourceStat struct {
 // request accumulators.
 func (s *Service) buildRegistry() *obs.Registry {
 	r := obs.NewRegistry()
+	obs.RegisterBuildInfo(r)
+	s.eventsTotal = r.CounterVec("ripki_serve_events_total",
+		"Incident-feed events recorded, by event_type.", "event_type")
+	r.GaugeFunc("ripki_serve_events_last_seq", "Sequence number of the newest incident-feed event (0 when empty).",
+		func() float64 {
+			s.events.mu.Lock()
+			defer s.events.mu.Unlock()
+			return float64(s.events.next - 1)
+		})
 	r.GaugeFunc("ripki_serve_uptime_seconds", "Seconds since the service started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	r.GaugeFunc("ripki_serve_domain_table_bytes", "Approximate heap footprint of the packed domain exposure table.",

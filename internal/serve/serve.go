@@ -21,10 +21,13 @@
 // HTTP surface (see Handler): POST/GET /v1/validate (single and batch
 // RFC 6811 origin validation with covering VRPs and the snapshot
 // serial), GET /v1/domain/{name} (per-domain exposure verdict à la the
-// paper's figures), GET /v1/domains, GET /v1/snapshot, GET /healthz,
-// and GET /metrics (Prometheus text exposition: request counters and
-// latency histograms per endpoint, snapshot identity, and per-source
-// staleness gauges — rendered from lock-free accumulators).
+// paper's figures), GET /v1/domains, GET /v1/snapshot, GET /v1/events
+// (the cursor-indexed incident feed: typed sim incidents plus every
+// snapshot publish, with long-poll), GET /healthz (503 "degraded" when
+// a live source outlives SetHealthMaxStaleness), and GET /metrics
+// (Prometheus text exposition: request counters and latency histograms
+// per endpoint, snapshot identity, per-source staleness gauges, and
+// per-event-type feed counters — rendered from lock-free accumulators).
 package serve
 
 import (
@@ -198,6 +201,18 @@ type Service struct {
 	reg     *obs.Registry
 	start   time.Time
 
+	// events is the incident feed behind GET /v1/events; eventsTotal
+	// counts appends by event_type for /metrics.
+	events      *eventRing
+	eventsTotal *obs.CounterVec
+
+	// healthMaxStaleness, when positive, turns /healthz into a
+	// staleness probe: 503 once any live source's last publish is older
+	// than this. liveSince stamps when each live source was registered,
+	// so a source that never publishes still trips the probe.
+	healthMaxStaleness time.Duration
+	liveSources        sync.Map // source name → liveSince (time.Time)
+
 	snap atomic.Pointer[Snapshot]
 
 	// Staleness trackers behind GET /metrics: when the service last
@@ -219,10 +234,25 @@ func New(domains *DomainTable) *Service {
 	if domains == nil {
 		domains = &DomainTable{}
 	}
-	s := &Service{domains: domains, metrics: newMetrics(), start: time.Now()}
+	s := &Service{
+		domains: domains,
+		metrics: newMetrics(),
+		start:   time.Now(),
+		events:  newEventRing(eventRingCapacity),
+	}
 	s.reg = s.buildRegistry()
 	return s
 }
+
+// SetHealthMaxStaleness arms the degraded-health probe: when d > 0,
+// /healthz answers 503 with a JSON reason once any live update source
+// has not published for longer than d. Set before serving traffic.
+func (s *Service) SetHealthMaxStaleness(d time.Duration) { s.healthMaxStaleness = d }
+
+// markLive registers a continuously updating source (an RTR session, a
+// sim scenario) with the health probe; one-shot publishers ("world",
+// "csv") are not live and never trip it.
+func (s *Service) markLive(source string) { s.liveSources.LoadOrStore(source, time.Now()) }
 
 // NewFromWorld builds the domain table from a generated world, then
 // publishes the world's own validated ROA payloads as the first
@@ -265,6 +295,16 @@ func (s *Service) Publish(vs []vrp.VRP, source string, sourceSerial uint32) (*Sn
 	}
 	s.snap.Store(sn)
 	s.recordPublish(source, sourceSerial)
+	s.appendEvent(FeedEvent{
+		EventType: "serve.snapshot_publish",
+		Feed:      "serve",
+		Observer:  source,
+		Attributes: map[string]string{
+			"source":        source,
+			"source_serial": fmt.Sprintf("%d", sourceSerial),
+			"vrps":          fmt.Sprintf("%d", ix.Len()),
+		},
+	})
 	return sn, nil
 }
 

@@ -21,6 +21,7 @@ import (
 // its cache does. It blocks until ctx is cancelled (returning nil) or
 // the established session fails.
 func (s *Service) RunRTR(ctx context.Context, addr string) error {
+	s.markLive("rtr")
 	client, err := dialRetry(ctx, addr)
 	if err != nil {
 		return s.sourceErr(ctx, err)
@@ -88,11 +89,16 @@ func (s *Service) RunSim(ctx context.Context, cfg sim.Config, interval time.Dura
 	if interval <= 0 {
 		interval = time.Second
 	}
+	s.markLive("sim")
 	sm, err := sim.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer sm.Close()
+	// Every typed incident the scenario produces lands in the feed as it
+	// happens — Step runs the recorder synchronously, so incidents
+	// precede the snapshot publish that makes their effects queryable.
+	sm.AttachIncidents(func(in sim.Incident) { s.appendEvent(feedIncident(in)) })
 	publish := func() error {
 		_, err := s.PublishSet(sm.TruthSet(), "sim", uint32(sm.Tick()))
 		return err

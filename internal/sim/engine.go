@@ -426,6 +426,14 @@ func (s *Simulation) TruthSet() *vrp.Set {
 	return s.truthCache
 }
 
+// ROAData is the typed payload on TopicROA events: the VRP that moved,
+// which way, and the scenario's stated reason.
+type ROAData struct {
+	VRP    vrp.VRP
+	Revoke bool
+	Reason string
+}
+
 // IssueVRP adds a validated ROA payload to the ground truth; the change
 // reaches relying parties at the next flush + their next refresh.
 func (s *Simulation) IssueVRP(v vrp.VRP, detail string) {
@@ -435,7 +443,7 @@ func (s *Simulation) IssueVRP(v vrp.VRP, detail string) {
 	s.truth[v] = true
 	s.dirty = true
 	s.truthCache = nil
-	s.Publish(TopicROA, fmt.Sprintf("issue %v (%s)", v, detail), v)
+	s.Publish(TopicROA, fmt.Sprintf("issue %v (%s)", v, detail), ROAData{VRP: v, Reason: detail})
 }
 
 // RevokeVRP removes a payload from the ground truth.
@@ -446,7 +454,7 @@ func (s *Simulation) RevokeVRP(v vrp.VRP, detail string) {
 	delete(s.truth, v)
 	s.dirty = true
 	s.truthCache = nil
-	s.Publish(TopicROA, fmt.Sprintf("revoke %v (%s)", v, detail), v)
+	s.Publish(TopicROA, fmt.Sprintf("revoke %v (%s)", v, detail), ROAData{VRP: v, Revoke: true, Reason: detail})
 }
 
 // routeEvent builds a collector route event from the first vantage peer.
@@ -463,10 +471,25 @@ func (s *Simulation) routeEvent(prefix netip.Prefix, path []uint32, withdraw boo
 	}
 }
 
+// RouteData is the typed payload on TopicBGP events. When the route
+// belongs to a tracked hijack campaign, Hijack carries its name and
+// Victim the probed address.
+type RouteData struct {
+	Prefix   netip.Prefix
+	Path     []uint32
+	Withdraw bool
+	Hijack   string
+	Victim   netip.Addr
+}
+
 // AnnounceRoute injects a route announcement into every relying party's
 // router (path is the AS path after the collector peer; the last element
 // is the origin).
 func (s *Simulation) AnnounceRoute(prefix netip.Prefix, path []uint32, detail string) {
+	s.announceRoute(prefix, path, detail, RouteData{Prefix: prefix, Path: path})
+}
+
+func (s *Simulation) announceRoute(prefix netip.Prefix, path []uint32, detail string, data RouteData) {
 	ev := s.routeEvent(prefix, path, false)
 	for _, rp := range s.RPs {
 		if _, err := rp.Router.Process(ev); err != nil {
@@ -474,11 +497,15 @@ func (s *Simulation) AnnounceRoute(prefix netip.Prefix, path []uint32, detail st
 			return
 		}
 	}
-	s.Publish(TopicBGP, fmt.Sprintf("announce %v path %v (%s)", prefix, path, detail), nil)
+	s.Publish(TopicBGP, fmt.Sprintf("announce %v path %v (%s)", prefix, path, detail), data)
 }
 
 // WithdrawRoute removes a previously announced route from every router.
 func (s *Simulation) WithdrawRoute(prefix netip.Prefix, detail string) {
+	s.withdrawRoute(prefix, detail, RouteData{Prefix: prefix, Withdraw: true})
+}
+
+func (s *Simulation) withdrawRoute(prefix netip.Prefix, detail string, data RouteData) {
 	ev := s.routeEvent(prefix, nil, true)
 	for _, rp := range s.RPs {
 		if _, err := rp.Router.Process(ev); err != nil {
@@ -486,7 +513,7 @@ func (s *Simulation) WithdrawRoute(prefix netip.Prefix, detail string) {
 			return
 		}
 	}
-	s.Publish(TopicBGP, fmt.Sprintf("withdraw %v (%s)", prefix, detail), nil)
+	s.Publish(TopicBGP, fmt.Sprintf("withdraw %v (%s)", prefix, detail), data)
 }
 
 // StartHijack announces the hijack into every router and tracks it; the
@@ -498,14 +525,16 @@ func (s *Simulation) StartHijack(h Hijack) {
 	if s.trace != nil {
 		s.hijackStart[h.Name] = s.T()
 	}
-	s.AnnounceRoute(h.Prefix, h.Path, "hijack "+h.Name)
+	s.announceRoute(h.Prefix, h.Path, "hijack "+h.Name,
+		RouteData{Prefix: h.Prefix, Path: h.Path, Hijack: h.Name, Victim: h.Victim})
 }
 
 // EndHijack withdraws the named hijack.
 func (s *Simulation) EndHijack(name string) {
 	for i, h := range s.hijacks {
 		if h.Name == name {
-			s.WithdrawRoute(h.Prefix, "hijack "+name+" ends")
+			s.withdrawRoute(h.Prefix, "hijack "+name+" ends",
+				RouteData{Prefix: h.Prefix, Withdraw: true, Hijack: name, Victim: h.Victim})
 			s.hijacks = append(s.hijacks[:i], s.hijacks[i+1:]...)
 			if start, ok := s.hijackStart[name]; ok {
 				s.trace.Span(start, s.T()-start, "hijack", name)
@@ -514,6 +543,13 @@ func (s *Simulation) EndHijack(name string) {
 			return
 		}
 	}
+}
+
+// RestartData is the typed payload on TopicRTR cache-restart events;
+// Recovered marks the end of a cold restart's revalidation window.
+type RestartData struct {
+	Cold      bool
+	Recovered bool
 }
 
 // RestartCache simulates an RTR cache restart: new session ID, serial
@@ -532,10 +568,10 @@ func (s *Simulation) RestartCache(cold bool) {
 		s.Queue.At(s.now.Add(2*s.Cfg.Tick), classScenario, func() {
 			s.outage = false
 			s.dirty = true
-			s.Publish(TopicRTR, "cache revalidation complete, refilling", nil)
+			s.Publish(TopicRTR, "cache revalidation complete, refilling", RestartData{Cold: true, Recovered: true})
 		})
 	}
-	s.Publish(TopicRTR, detail, nil)
+	s.Publish(TopicRTR, detail, RestartData{Cold: cold})
 }
 
 // flush pushes the ground truth to the cache when it changed this tick.
@@ -548,7 +584,25 @@ func (s *Simulation) flush() {
 	set := s.TruthSet()
 	s.Server.Update(set)
 	s.dirty = false
-	s.Publish(TopicRTR, fmt.Sprintf("flush serial=%d vrps=%d", s.Server.Serial(), set.Len()), nil)
+	s.Publish(TopicRTR, fmt.Sprintf("flush serial=%d vrps=%d", s.Server.Serial(), set.Len()),
+		FlushData{Serial: s.Server.Serial(), VRPs: set.Len()})
+}
+
+// FlushData is the typed payload on TopicRTR flush events: the cache
+// serial and payload count the flush published.
+type FlushData struct {
+	Serial uint32
+	VRPs   int
+}
+
+// RefreshData is the typed payload on TopicRP refresh events: which
+// relying party polled, the serial and payload count it synchronised,
+// and how many now-invalid routes revalidation dropped.
+type RefreshData struct {
+	RP      string
+	Serial  uint32
+	VRPs    int
+	Dropped int
 }
 
 // refresh is one relying party's poll + revalidation cycle.
@@ -560,7 +614,8 @@ func (s *Simulation) refresh(rp *RP) {
 	rp.source.set = rp.Client.Set()
 	res := rp.Router.Revalidate()
 	s.Publish(TopicRP, fmt.Sprintf("%s refresh serial=%d vrps=%d dropped=%d",
-		rp.Spec.Name, rp.Client.Serial(), rp.Client.Len(), res.Dropped), res)
+		rp.Spec.Name, rp.Client.Serial(), rp.Client.Len(), res.Dropped),
+		RefreshData{RP: rp.Spec.Name, Serial: rp.Client.Serial(), VRPs: rp.Client.Len(), Dropped: res.Dropped})
 }
 
 // probe records one time-series row. The measured exposure columns

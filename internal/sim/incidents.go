@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The incident stream turns bus traffic into machine-readable incident
+// records — "a hijack window opened against prefix P", "trust anchor X
+// went dark" — instead of detail strings a consumer must regex. The
+// record shape follows the telemetry-generator idiom (event_type +
+// source + timestamp + flat attributes map) so downstream tooling can
+// route on event_type without knowing the scenario that produced it.
+
+// IncidentSource identifies where an incident was observed: the feed it
+// belongs to (rpki, bgp, rtr, rp) and the component that saw it.
+type IncidentSource struct {
+	Feed     string `json:"feed"`
+	Observer string `json:"observer"`
+}
+
+// Incident is one structured record in the stream. Timestamps are
+// virtual offsets from the start of the run, so the stream is
+// byte-identical for the same seed and flags.
+type Incident struct {
+	// Seq numbers incidents from 0 in emission order.
+	Seq int
+	// T is the virtual offset since the start of the run.
+	T time.Duration
+	// EventType is the dotted kind, e.g. "bgp.hijack_announce".
+	EventType string
+	Source    IncidentSource
+	// Scenario is the run's canonical scenario spec.
+	Scenario string
+	// Attributes carries event-specific fields as strings.
+	Attributes map[string]string
+}
+
+// incidentJSON fixes the serialised field order; attribute keys are
+// sorted by encoding/json, so the wire form is deterministic.
+type incidentJSON struct {
+	Seq        int               `json:"seq"`
+	TUS        int64             `json:"t_us"`
+	EventType  string            `json:"event_type"`
+	Source     IncidentSource    `json:"source"`
+	Scenario   string            `json:"scenario"`
+	Attributes map[string]string `json:"attributes,omitempty"`
+}
+
+// MarshalJSON renders the record in its canonical wire form (virtual
+// time as integer microseconds, fixed field order).
+func (in Incident) MarshalJSON() ([]byte, error) {
+	return json.Marshal(incidentJSON{
+		Seq:        in.Seq,
+		TUS:        in.T.Microseconds(),
+		EventType:  in.EventType,
+		Source:     in.Source,
+		Scenario:   in.Scenario,
+		Attributes: in.Attributes,
+	})
+}
+
+// IncidentLog accumulates incidents in emission order — the convenience
+// sink for CLI export (`ripki-sim -events`).
+type IncidentLog struct {
+	Incidents []Incident
+}
+
+// Add appends one incident; it is the AttachIncidents callback shape.
+func (l *IncidentLog) Add(in Incident) { l.Incidents = append(l.Incidents, in) }
+
+// WriteJSONL writes one canonical JSON object per line. Same seed and
+// flags ⇒ byte-identical output (CI diffs two runs).
+func (l *IncidentLog) WriteJSONL(w io.Writer) error {
+	for i := range l.Incidents {
+		b, err := json.Marshal(l.Incidents[i])
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rpLagState tracks one relying party's distance from the cache: the
+// serial it last synchronised, whether it is currently behind, and —
+// when behind — since when and whether the episode has been announced.
+type rpLagState struct {
+	lastSerial uint32
+	behind     bool
+	since      time.Duration
+	announced  bool
+}
+
+// incidentRecorder derives incidents from bus events. It keeps just
+// enough state to turn flush/refresh serial bookkeeping into RP lag
+// *transitions*: an RP that catches up within the very tick that left
+// it behind never produces an episode (lag_started is emitted lazily,
+// once virtual time has moved past the flush that opened the gap).
+type incidentRecorder struct {
+	emit     func(Incident)
+	scenario string
+	seq      int
+
+	cacheSerial uint32
+	rpOrder     []string
+	states      map[string]*rpLagState
+}
+
+// AttachIncidents subscribes an incident recorder to the bus and
+// delivers each derived incident to emit, in deterministic order.
+// Attach before Run; the callback runs synchronously inside Step.
+func (s *Simulation) AttachIncidents(emit func(Incident)) {
+	rec := &incidentRecorder{
+		emit:        emit,
+		scenario:    s.Series.Scenario,
+		cacheSerial: s.Server.Serial(),
+		states:      make(map[string]*rpLagState),
+	}
+	for _, rp := range s.RPs {
+		if rp.Client == nil {
+			continue
+		}
+		rec.rpOrder = append(rec.rpOrder, rp.Spec.Name)
+		rec.states[rp.Spec.Name] = &rpLagState{lastSerial: rp.Client.Serial()}
+	}
+	s.Bus.SubscribeAll(rec.handle)
+}
+
+func (rec *incidentRecorder) record(t time.Duration, eventType string, src IncidentSource, attrs map[string]string) {
+	rec.emit(Incident{
+		Seq:        rec.seq,
+		T:          t,
+		EventType:  eventType,
+		Source:     src,
+		Scenario:   rec.scenario,
+		Attributes: attrs,
+	})
+	rec.seq++
+}
+
+func (rec *incidentRecorder) handle(e Event) {
+	// Lag episodes that survived past their opening tick become real:
+	// emit their start (stamped at the flush that opened the gap) before
+	// anything at a later instant.
+	for _, name := range rec.rpOrder {
+		st := rec.states[name]
+		if st.behind && !st.announced && e.T > st.since {
+			st.announced = true
+			rec.record(st.since, "rp.lag_started", IncidentSource{Feed: "rp", Observer: name},
+				map[string]string{"rp": name, "cache_serial": formatUint(rec.cacheSerial)})
+		}
+	}
+
+	switch d := e.Data.(type) {
+	case ROAData:
+		kind := "rpki.roa_issue"
+		if d.Revoke {
+			kind = "rpki.roa_revoke"
+		}
+		rec.record(e.T, kind, IncidentSource{Feed: "rpki", Observer: "registry"}, map[string]string{
+			"prefix":     d.VRP.Prefix.String(),
+			"origin_as":  formatUint(d.VRP.ASN),
+			"max_length": strconv.Itoa(int(d.VRP.MaxLength)),
+			"reason":     d.Reason,
+		})
+	case RouteData:
+		attrs := map[string]string{"prefix": d.Prefix.String()}
+		if len(d.Path) > 0 {
+			attrs["path"] = formatPath(d.Path)
+		}
+		kind := "bgp.route_announce"
+		if d.Withdraw {
+			kind = "bgp.route_withdraw"
+		}
+		if d.Hijack != "" {
+			kind = "bgp.hijack_announce"
+			if d.Withdraw {
+				kind = "bgp.hijack_withdraw"
+			}
+			attrs["name"] = d.Hijack
+			if d.Victim.IsValid() {
+				attrs["victim"] = d.Victim.String()
+			}
+		}
+		rec.record(e.T, kind, IncidentSource{Feed: "bgp", Observer: "collector"}, attrs)
+	case RestartData:
+		if d.Recovered {
+			rec.record(e.T, "rtr.cache_recovered", IncidentSource{Feed: "rtr", Observer: "cache"}, nil)
+			break
+		}
+		mode := "warm"
+		if d.Cold {
+			mode = "cold"
+		}
+		rec.record(e.T, "rtr.cache_restart", IncidentSource{Feed: "rtr", Observer: "cache"},
+			map[string]string{"mode": mode})
+	case AnchorData:
+		kind := "rpki.trust_anchor_outage"
+		if d.Restored {
+			kind = "rpki.trust_anchor_recovery"
+		}
+		rec.record(e.T, kind, IncidentSource{Feed: "rpki", Observer: "registry"}, map[string]string{
+			"anchor": d.Anchor,
+			"vrps":   strconv.Itoa(d.VRPs),
+		})
+	case FlushData:
+		rec.cacheSerial = d.Serial
+		for _, name := range rec.rpOrder {
+			st := rec.states[name]
+			if st.lastSerial != rec.cacheSerial && !st.behind {
+				st.behind = true
+				st.since = e.T
+				st.announced = false
+			}
+		}
+	case RefreshData:
+		st, ok := rec.states[d.RP]
+		if !ok {
+			break
+		}
+		st.lastSerial = d.Serial
+		if st.behind && d.Serial == rec.cacheSerial {
+			if st.announced {
+				rec.record(e.T, "rp.lag_cleared", IncidentSource{Feed: "rp", Observer: d.RP}, map[string]string{
+					"rp":             d.RP,
+					"serial":         formatUint(d.Serial),
+					"behind_seconds": strconv.FormatFloat((e.T - st.since).Seconds(), 'f', -1, 64),
+				})
+			}
+			st.behind = false
+			st.announced = false
+		}
+	}
+}
+
+func formatUint(v uint32) string { return strconv.FormatUint(uint64(v), 10) }
+
+// formatPath renders an AS path as space-separated ASNs.
+func formatPath(path []uint32) string {
+	parts := make([]string, len(path))
+	for i, as := range path {
+		parts[i] = formatUint(as)
+	}
+	return strings.Join(parts, " ")
+}

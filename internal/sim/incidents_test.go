@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// incidentRun runs one scenario with an incident recorder attached and
+// returns the log plus its JSONL export.
+func incidentRun(t *testing.T, cfg Config) (*IncidentLog, []byte) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	log := &IncidentLog{}
+	s.AttachIncidents(log.Add)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return log, buf.Bytes()
+}
+
+func countTypes(log *IncidentLog) map[string]int {
+	counts := make(map[string]int)
+	for _, in := range log.Incidents {
+		counts[in.EventType]++
+	}
+	return counts
+}
+
+// TestIncidentDeterminism is the export contract: same seed + flags ⇒
+// byte-identical JSONL. CI diffs the CLI equivalent (-events).
+func TestIncidentDeterminism(t *testing.T) {
+	_, a := incidentRun(t, testConfig("hijack-window+rp-lag"))
+	_, b := incidentRun(t, testConfig("hijack-window+rp-lag"))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two same-seed incident streams differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("incident stream is empty")
+	}
+}
+
+// TestIncidentHijackStory: hijack-window must replay as typed records —
+// the hijack announce with its victim, the emergency ROA, the withdraw —
+// all stamped with the canonical scenario spec and dense sequence
+// numbers.
+func TestIncidentHijackStory(t *testing.T) {
+	log, out := incidentRun(t, testConfig("hijack-window"))
+	counts := countTypes(log)
+	if counts["bgp.hijack_announce"] != 1 || counts["bgp.hijack_withdraw"] != 1 {
+		t.Fatalf("hijack announce/withdraw = %d/%d, want 1/1 (counts: %v)",
+			counts["bgp.hijack_announce"], counts["bgp.hijack_withdraw"], counts)
+	}
+	if counts["rpki.roa_issue"] == 0 {
+		t.Fatal("emergency ROA produced no rpki.roa_issue incident")
+	}
+	var announce *Incident
+	for i := range log.Incidents {
+		if log.Incidents[i].EventType == "bgp.hijack_announce" {
+			announce = &log.Incidents[i]
+		}
+	}
+	if announce.Attributes["name"] != "cdn-subprefix" {
+		t.Errorf("hijack name = %q", announce.Attributes["name"])
+	}
+	for _, key := range []string{"prefix", "path", "victim"} {
+		if announce.Attributes[key] == "" {
+			t.Errorf("hijack announce missing attribute %q", key)
+		}
+	}
+	if announce.Source.Feed != "bgp" {
+		t.Errorf("hijack announce feed = %q, want bgp", announce.Source.Feed)
+	}
+	for i, in := range log.Incidents {
+		if in.Seq != i {
+			t.Fatalf("incident %d has seq %d", i, in.Seq)
+		}
+		if in.Scenario != "hijack-window" {
+			t.Fatalf("incident %d scenario = %q", i, in.Scenario)
+		}
+	}
+	// The wire form is the red-lantern shape: event_type + source +
+	// integer-microsecond timestamp + flat attributes.
+	line := strings.SplitN(string(out), "\n", 2)[0]
+	var decoded struct {
+		Seq       int               `json:"seq"`
+		TUS       int64             `json:"t_us"`
+		EventType string            `json:"event_type"`
+		Source    IncidentSource    `json:"source"`
+		Scenario  string            `json:"scenario"`
+		Attrs     map[string]string `json:"attributes"`
+	}
+	if err := json.Unmarshal([]byte(line), &decoded); err != nil {
+		t.Fatalf("first line is not valid JSON: %v\n%s", err, line)
+	}
+	if decoded.EventType == "" || decoded.Source.Feed == "" {
+		t.Fatalf("first line missing event_type/source: %s", line)
+	}
+}
+
+// TestIncidentRPLagEpisodes: under churn, the slow relying party must
+// produce lag episodes — started when a flush leaves it behind and
+// cleared (with a positive duration) at its catch-up refresh. The
+// 1-tick RP catches up within the opening tick, so it never produces
+// an episode.
+func TestIncidentRPLagEpisodes(t *testing.T) {
+	log, _ := incidentRun(t, testConfig("rp-lag"))
+	started := make(map[string]int)
+	cleared := make(map[string]int)
+	for _, in := range log.Incidents {
+		switch in.EventType {
+		case "rp.lag_started":
+			started[in.Attributes["rp"]]++
+			if in.Source.Observer != in.Attributes["rp"] {
+				t.Errorf("lag_started observer %q != rp %q", in.Source.Observer, in.Attributes["rp"])
+			}
+		case "rp.lag_cleared":
+			cleared[in.Attributes["rp"]]++
+			behind, err := strconv.ParseFloat(in.Attributes["behind_seconds"], 64)
+			if err != nil || behind <= 0 {
+				t.Errorf("lag_cleared with bad behind_seconds %q", in.Attributes["behind_seconds"])
+			}
+		}
+	}
+	if started["rp-1t"] != 0 {
+		t.Errorf("1-tick RP produced %d lag episodes, want 0 (same-tick catch-up must be suppressed)", started["rp-1t"])
+	}
+	for _, rp := range []string{"rp-5t", "rp-20t"} {
+		if started[rp] == 0 {
+			t.Errorf("%s produced no lag episodes", rp)
+		}
+		if cleared[rp] == 0 {
+			t.Errorf("%s lag episodes never cleared", rp)
+		}
+		if cleared[rp] > started[rp] {
+			t.Errorf("%s cleared %d > started %d", rp, cleared[rp], started[rp])
+		}
+	}
+}
+
+// TestIncidentOutageAndRestart: the trust-anchor outage and rtr-restart
+// scenarios must surface their headline transitions as typed records.
+func TestIncidentOutageAndRestart(t *testing.T) {
+	log, _ := incidentRun(t, testConfig("trust-anchor-outage"))
+	counts := countTypes(log)
+	if counts["rpki.trust_anchor_outage"] != 1 || counts["rpki.trust_anchor_recovery"] != 1 {
+		t.Errorf("TA outage/recovery = %d/%d, want 1/1",
+			counts["rpki.trust_anchor_outage"], counts["rpki.trust_anchor_recovery"])
+	}
+	if counts["rpki.roa_revoke"] == 0 || counts["rpki.roa_issue"] == 0 {
+		t.Errorf("outage produced no ROA moves: %v", counts)
+	}
+
+	log, _ = incidentRun(t, testConfig("rtr-restart"))
+	counts = countTypes(log)
+	if counts["rtr.cache_restart"] != 1 {
+		t.Errorf("cache restarts = %d, want 1", counts["rtr.cache_restart"])
+	}
+	if counts["rtr.cache_recovered"] != 1 {
+		t.Errorf("cache recoveries = %d, want 1 (default restart is cold)", counts["rtr.cache_recovered"])
+	}
+}
+
+// TestIncidentTimestampsMonotonic: seq order must agree with virtual
+// time — lazy lag_started emission back-stamps the flush instant but
+// never after a later-instant record.
+func TestIncidentTimestampsMonotonic(t *testing.T) {
+	log, _ := incidentRun(t, testConfig("hijack-window+rp-lag"))
+	for i := 1; i < len(log.Incidents); i++ {
+		if log.Incidents[i].T < log.Incidents[i-1].T {
+			t.Fatalf("incident %d at %s precedes incident %d at %s",
+				i, log.Incidents[i].T, i-1, log.Incidents[i-1].T)
+		}
+	}
+}

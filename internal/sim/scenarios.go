@@ -509,13 +509,15 @@ func (o *taOutage) Setup(s *Simulation) error {
 	}
 
 	s.AtFrac(o.p.Float("outage_frac", 0.15), func() {
-		s.Publish(TopicRTR, fmt.Sprintf("trust anchor %s dark: %d VRPs lost", name, len(lost)), nil)
+		s.Publish(TopicRTR, fmt.Sprintf("trust anchor %s dark: %d VRPs lost", name, len(lost)),
+			AnchorData{Anchor: name, VRPs: len(lost)})
 		for _, v := range lost {
 			s.RevokeVRP(v, "TA "+name+" outage")
 		}
 	})
 	s.AtFrac(o.p.Float("restore_frac", 0.6), func() {
-		s.Publish(TopicRTR, fmt.Sprintf("trust anchor %s recovered: %d VRPs restored", name, len(lost)), nil)
+		s.Publish(TopicRTR, fmt.Sprintf("trust anchor %s recovered: %d VRPs restored", name, len(lost)),
+			AnchorData{Anchor: name, VRPs: len(lost), Restored: true})
 		for _, v := range lost {
 			s.IssueVRP(v, "TA "+name+" recovery")
 		}
@@ -535,6 +537,14 @@ func (o *taOutage) Setup(s *Simulation) error {
 		})
 	}
 	return nil
+}
+
+// AnchorData is the typed payload on TopicRTR trust-anchor events: the
+// anchor that changed state and the size of its VRP subtree.
+type AnchorData struct {
+	Anchor   string
+	VRPs     int
+	Restored bool
 }
 
 // anchorTruth returns the ground-truth VRPs living under the named

@@ -274,6 +274,15 @@ type (
 	TimeSeries = sim.TimeSeries
 	// SimSampleData is the typed payload on sample-topic SimEvents.
 	SimSampleData = sim.SampleData
+	// Incident is one typed incident record (hijack announce, ROA move,
+	// trust-anchor outage, RP lag episode) derived from the bus; attach
+	// a recorder with Simulation.AttachIncidents.
+	Incident = sim.Incident
+	// IncidentSource names the feed and observer of an Incident.
+	IncidentSource = sim.IncidentSource
+	// IncidentLog accumulates incidents and exports canonical JSONL
+	// (byte-identical per seed).
+	IncidentLog = sim.IncidentLog
 	// Trace is a deterministic structured trace recorder (attach to a
 	// Simulation with AttachTrace; export with WriteJSONL/WriteChrome).
 	Trace = obs.Trace

@@ -1,14 +1,21 @@
-// Command loadgen is a closed-loop load generator for ripki-served:
-// N concurrent workers each issue validate requests back-to-back for a
-// fixed wall-clock window, then the tool reports achieved throughput
-// and the latency distribution (p50/p95/p99 via internal/stats).
+// Command loadgen is an open-loop load generator for ripki-served:
+// requests are scheduled at a fixed arrival rate and latency is
+// measured from each request's *scheduled* start, not from when it was
+// actually sent. A closed-loop generator (fixed workers, back-to-back
+// requests) silently slows its own arrival rate when the server stalls
+// — the coordinated-omission trap, which hides exactly the tail
+// latencies an SLO cares about. Here a stall keeps the schedule intact:
+// delayed sends accrue their queueing delay into the recorded latency,
+// and the offered vs. achieved rate gap makes overload visible.
 //
-//	loadgen -addr http://127.0.0.1:8480 -concurrency 8 -duration 5s
-//	loadgen -batch 16 -duration 10s     # 16 routes per request
+//	loadgen -addr http://127.0.0.1:8480 -rate 200 -duration 5s
+//	loadgen -rate 500 -batch 16 -duration 10s      # 16 routes per request
+//	loadgen -rate 150 -slo-p99 250ms -json report.json
 //
 // Routes are drawn from a seeded generator mixing covered and
 // uncovered prefixes, so responses exercise all three RFC 6811
-// outcomes. Exit code 1 when any request failed, 2 on usage errors.
+// outcomes. Exit code 1 when any request failed or the -slo-p99 gate
+// tripped, 2 on usage errors.
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -33,13 +42,6 @@ var errFlagParse = errors.New("flag parsing failed")
 type routeSpec struct {
 	Prefix string `json:"prefix"`
 	ASN    uint32 `json:"asn"`
-}
-
-// workerResult is one worker's tally.
-type workerResult struct {
-	latencies []float64 // seconds
-	requests  int
-	errors    int
 }
 
 // randomRoutes draws a batch: /8../24 prefixes across the unicast
@@ -57,16 +59,71 @@ func randomRoutes(rnd *rand.Rand, n int) []routeSpec {
 	return specs
 }
 
+// tally accumulates results across the in-flight request goroutines.
+type tally struct {
+	mu           sync.Mutex
+	latencies    []float64 // seconds, from scheduled start
+	statusCounts map[string]int
+	maxSchedLag  time.Duration // worst dispatch delay behind schedule
+}
+
+func (t *tally) record(latency float64, status string, schedLag time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.latencies = append(t.latencies, latency)
+	t.statusCounts[status]++
+	if schedLag > t.maxSchedLag {
+		t.maxSchedLag = schedLag
+	}
+}
+
+// latencyMS is the report's latency block, in milliseconds.
+type latencyMS struct {
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// sloReport is present when -slo-p99 gates the run.
+type sloReport struct {
+	P99TargetMS float64 `json:"p99_target_ms"`
+	Pass        bool    `json:"pass"`
+}
+
+// report is the -json machine-readable result. OfferedRPS is the rate
+// the schedule demanded; AchievedRPS is what actually completed — a gap
+// between them is coordinated omission made visible instead of hidden.
+type report struct {
+	Addr            string         `json:"addr"`
+	RateRPS         float64        `json:"rate_rps"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	Batch           int            `json:"batch"`
+	Scheduled       int            `json:"scheduled"`
+	Completed       int            `json:"completed"`
+	Errors          int            `json:"errors"`
+	OfferedRPS      float64        `json:"offered_rps"`
+	AchievedRPS     float64        `json:"achieved_rps"`
+	StatusCounts    map[string]int `json:"status_counts"`
+	MaxSchedLagMS   float64        `json:"max_sched_lag_ms"`
+	LatencyMS       latencyMS      `json:"latency_ms"`
+	SLO             *sloReport     `json:"slo,omitempty"`
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr        = fs.String("addr", "http://127.0.0.1:8480", "ripki-served base URL")
-		concurrency = fs.Int("concurrency", 8, "closed-loop workers")
-		duration    = fs.Duration("duration", 5*time.Second, "measurement window")
-		batch       = fs.Int("batch", 1, "routes per validate request")
-		seed        = fs.Int64("seed", 1, "route generator seed")
-		timeout     = fs.Duration("timeout", 10*time.Second, "per-request timeout")
+		addr     = fs.String("addr", "http://127.0.0.1:8480", "ripki-served base URL")
+		rate     = fs.Float64("rate", 200, "open-loop arrival rate, requests/second")
+		duration = fs.Duration("duration", 5*time.Second, "measurement window (schedule length)")
+		batch    = fs.Int("batch", 1, "routes per validate request")
+		seed     = fs.Int64("seed", 1, "route generator seed")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-request timeout")
+		jsonPath = fs.String("json", "", "write the machine-readable report to this file")
+		sloP99   = fs.Duration("slo-p99", 0, "fail (exit 1) when p99 latency from scheduled start exceeds this; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -74,8 +131,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return errFlagParse
 	}
-	if *concurrency < 1 || *batch < 1 || *duration <= 0 {
-		fmt.Fprintln(stderr, "concurrency, batch and duration must be positive")
+	if *rate <= 0 || *batch < 1 || *duration <= 0 {
+		fmt.Fprintln(stderr, "rate, batch and duration must be positive")
 		return errFlagParse
 	}
 
@@ -98,61 +155,114 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("probe request: status %s", resp.Status)
 	}
 
-	results := make([]workerResult, *concurrency)
-	deadline := time.Now().Add(*duration)
+	total := int(*rate * duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	t := &tally{statusCounts: make(map[string]int)}
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < *concurrency; w++ {
+	for i := 0; i < total; i++ {
+		// The schedule is fixed up front: request i departs at
+		// start + i/rate regardless of how earlier requests fared.
+		sched := start.Add(time.Duration(float64(i) * float64(time.Second) / *rate))
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(i int, sched time.Time) {
 			defer wg.Done()
-			rnd := rand.New(rand.NewSource(*seed + int64(w)*7919))
-			res := &results[w]
-			for time.Now().Before(deadline) {
-				body, err := json.Marshal(map[string]any{"routes": randomRoutes(rnd, *batch)})
-				if err != nil {
-					res.errors++
-					continue
-				}
-				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-				lat := time.Since(t0).Seconds()
-				res.requests++
-				if err != nil {
-					res.errors++
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					res.errors++
-					continue
-				}
-				res.latencies = append(res.latencies, lat)
+			rnd := rand.New(rand.NewSource(*seed + int64(i)*7919))
+			schedLag := time.Since(sched)
+			body, err := json.Marshal(map[string]any{"routes": randomRoutes(rnd, *batch)})
+			if err != nil {
+				t.record(time.Since(sched).Seconds(), "error", schedLag)
+				return
 			}
-		}(w)
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.record(time.Since(sched).Seconds(), "error", schedLag)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			t.record(time.Since(sched).Seconds(), strconv.Itoa(resp.StatusCode), schedLag)
+		}(i, sched)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var latencies []float64
-	requests, errCount := 0, 0
-	for i := range results {
-		latencies = append(latencies, results[i].latencies...)
-		requests += results[i].requests
-		errCount += results[i].errors
-	}
-	if requests == 0 {
+	completed := len(t.latencies)
+	if completed == 0 {
 		return errors.New("no requests completed")
 	}
-	s := stats.Summarize(latencies)
-	qps := float64(requests) / elapsed.Seconds()
-	fmt.Fprintf(stdout, "loadgen: %d requests (%d routes each, %d workers) in %.2fs: %.1f req/s, %.1f routes/s, %d errors\n",
-		requests, *batch, *concurrency, elapsed.Seconds(), qps, qps*float64(*batch), errCount)
-	fmt.Fprintf(stdout, "latency ms: min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f mean=%.3f\n",
-		s.Min*1e3, s.P50*1e3, s.P95*1e3, s.P99*1e3, s.Max*1e3, s.Mean*1e3)
+	errCount := 0
+	for status, n := range t.statusCounts {
+		if status != "200" {
+			errCount += n
+		}
+	}
+	s := stats.Summarize(t.latencies)
+	rep := report{
+		Addr:            *addr,
+		RateRPS:         *rate,
+		DurationSeconds: duration.Seconds(),
+		Batch:           *batch,
+		Scheduled:       total,
+		Completed:       completed,
+		Errors:          errCount,
+		OfferedRPS:      *rate,
+		AchievedRPS:     float64(completed) / elapsed.Seconds(),
+		StatusCounts:    t.statusCounts,
+		MaxSchedLagMS:   t.maxSchedLag.Seconds() * 1e3,
+		LatencyMS: latencyMS{
+			Min: s.Min * 1e3, P50: s.P50 * 1e3, P95: s.P95 * 1e3,
+			P99: s.P99 * 1e3, Max: s.Max * 1e3, Mean: s.Mean * 1e3,
+		},
+	}
+	sloPass := true
+	if *sloP99 > 0 {
+		sloPass = s.P99 <= sloP99.Seconds()
+		rep.SLO = &sloReport{P99TargetMS: sloP99.Seconds() * 1e3, Pass: sloPass}
+	}
+
+	fmt.Fprintf(stdout, "loadgen: %d scheduled (%d routes each) over %.2fs: offered %.1f req/s, achieved %.1f req/s, %d errors\n",
+		total, *batch, elapsed.Seconds(), rep.OfferedRPS, rep.AchievedRPS, errCount)
+	statuses := make([]string, 0, len(t.statusCounts))
+	for status := range t.statusCounts {
+		statuses = append(statuses, status)
+	}
+	sort.Strings(statuses)
+	fmt.Fprintf(stdout, "status:")
+	for _, status := range statuses {
+		fmt.Fprintf(stdout, " %s=%d", status, t.statusCounts[status])
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "latency ms (from scheduled start): min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f mean=%.3f (max sched lag %.3f)\n",
+		rep.LatencyMS.Min, rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Max, rep.LatencyMS.Mean, rep.MaxSchedLagMS)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
 	if errCount > 0 {
-		return fmt.Errorf("%d of %d requests failed", errCount, requests)
+		return fmt.Errorf("%d of %d requests failed", errCount, completed)
+	}
+	if !sloPass {
+		return fmt.Errorf("SLO violated: p99 %.3fms > target %.3fms at %.1f req/s offered",
+			rep.LatencyMS.P99, rep.SLO.P99TargetMS, rep.OfferedRPS)
 	}
 	return nil
 }
