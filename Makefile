@@ -41,7 +41,9 @@ fmt-check:
 	fi
 
 # The gated benchmark set: the sweep engine (all execution modes), the
-# sim engine's hot tick loop (single and composed scenarios), the
+# sim engine's hot tick loop (single and composed scenarios), its
+# incremental steady-state paths (dirty-subtree probe refresh and the
+# cache's single-VRP delta apply), the
 # serving layer's lock-free lookup path at 1/4/8 goroutines, the radix
 # covering walk it rests on, the distributed coordinator's
 # decode-and-assemble merge path, and the web-scale path — sharded
@@ -53,6 +55,8 @@ bench:
 	@$(GO) test -run '^$$' -bench 'BenchmarkSweep$$' -benchtime 2x -benchmem -count $(BENCH_COUNT) ./internal/sweep
 	@$(GO) test -run '^$$' -bench 'BenchmarkSimTick$$' -benchtime 200x -benchmem -count $(BENCH_COUNT) .
 	@$(GO) test -run '^$$' -bench 'BenchmarkComposedSimTick$$' -benchtime 200x -benchmem -count $(BENCH_COUNT) .
+	@$(GO) test -run '^$$' -bench 'BenchmarkProbeIncremental$$' -benchtime 100x -benchmem -count $(BENCH_COUNT) .
+	@$(GO) test -run '^$$' -bench 'BenchmarkTruthSetDelta$$' -benchtime 10000x -benchmem -count $(BENCH_COUNT) .
 	@$(GO) test -run '^$$' -bench 'BenchmarkServeValidate$$' -benchtime 50000x -benchmem -count $(BENCH_COUNT) ./internal/serve
 	@$(GO) test -run '^$$' -bench 'BenchmarkCovering$$' -benchtime 200000x -benchmem -count $(BENCH_COUNT) ./internal/radix
 	@$(GO) test -run '^$$' -bench 'BenchmarkDistMerge$$' -benchtime 20x -benchmem -count $(BENCH_COUNT) ./internal/distsweep

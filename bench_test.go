@@ -436,6 +436,88 @@ func BenchmarkRTRChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkProbeIncremental times the steady-state probe under low
+// churn: one VRP flips per iteration, so each Refresh re-measures only
+// the flipped prefix's dirty subtree instead of the whole 5k-domain
+// world. This is the O(changes) contract the incremental dataset
+// exists for, gated so a regression back toward O(world) cannot land
+// silently.
+func BenchmarkProbeIncremental(b *testing.B) {
+	w, err := webworld.Generate(webworld.Config{Seed: 3, Domains: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := w.Validation().VRPs.Clone()
+	inc, err := measure.NewIncremental(w.List, measure.Config{
+		Resolver: dns.RegistryResolver{Registry: w.Registry},
+		RIB:      w.RIB,
+		VRPs:     set,
+		BinWidth: 500,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var flip vrp.VRP
+	for _, p := range w.RoutedV4Prefixes() {
+		origin, ok := w.PinnedOriginOf(p)
+		if !ok {
+			continue
+		}
+		v := vrp.VRP{Prefix: p, MaxLength: p.Bits(), ASN: origin}
+		if !set.Contains(v) {
+			flip = v
+			break
+		}
+	}
+	if !flip.Prefix.IsValid() {
+		b.Fatal("no uncovered routed prefix to flip")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			if err := set.Add(flip); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			set.Remove(flip)
+		}
+		inc.DirtyVRP(flip.Prefix)
+		if err := inc.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTruthSetDelta times the cache's delta-apply path: a
+// single-VRP UpdateDelta against a 1000-VRP server — membership check,
+// in-place apply, delta record, serial bump — without the full-set
+// diff Update pays. The sim's flush rides this on every mutation tick.
+func BenchmarkTruthSetDelta(b *testing.B) {
+	base := vrp.NewSet()
+	for i := 0; i < 1000; i++ {
+		v := vrp.VRP{
+			Prefix:    netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24),
+			MaxLength: 24,
+			ASN:       uint32(64500 + i%64),
+		}
+		if err := base.Add(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := rtr.NewServer(base, 1)
+	srv.Logf = func(string, ...any) {}
+	flip := vrp.VRP{Prefix: netutil.MustPrefix("192.0.2.0/24"), MaxLength: 24, ASN: 64999}
+	announce, withdraw := []vrp.VRP{flip}, []vrp.VRP{flip}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			srv.UpdateDelta(announce, nil)
+		} else {
+			srv.UpdateDelta(nil, withdraw)
+		}
+	}
+}
+
 // --- Ablations (design choices called out in DESIGN.md) ---------------
 
 // BenchmarkAblationBinWidth re-runs Figure 2 with the bin sizes the

@@ -17,6 +17,7 @@ const maxChase = 16
 type Registry struct {
 	mu      sync.RWMutex
 	records map[string][]RR // canonical name → records
+	hook    func(name string)
 }
 
 // NewRegistry creates an empty registry.
@@ -31,6 +32,18 @@ func NewRegistrySized(n int) *Registry {
 	return &Registry{records: make(map[string][]RR, n)}
 }
 
+// SetMutationHook registers fn to observe every record mutation (nil
+// disables it). It is called with the canonical owner name after the
+// mutation, outside the registry lock; a batched insert invokes it once
+// per record. Clones do not inherit the hook. Incremental measurement
+// uses it to mark the domains whose resolution touched a changed name
+// as dirty.
+func (r *Registry) SetMutationHook(fn func(name string)) {
+	r.mu.Lock()
+	r.hook = fn
+	r.mu.Unlock()
+}
+
 // Add inserts a record. The owner name is canonicalised.
 func (r *Registry) Add(rr RR) {
 	rr.Name = CanonicalName(rr.Name)
@@ -42,7 +55,11 @@ func (r *Registry) Add(rr RR) {
 	}
 	r.mu.Lock()
 	r.records[rr.Name] = append(r.records[rr.Name], rr)
+	hook := r.hook
 	r.mu.Unlock()
+	if hook != nil {
+		hook(rr.Name)
+	}
 }
 
 // AddBatch inserts many records under one lock acquisition, preserving
@@ -50,7 +67,7 @@ func (r *Registry) Add(rr RR) {
 // each shard accumulates its records and replays them in rank order.
 func (r *Registry) AddBatch(rrs []RR) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	names := make([]string, 0, len(rrs))
 	for _, rr := range rrs {
 		rr.Name = CanonicalName(rr.Name)
 		if rr.Type == TypeCNAME || rr.Type == TypeNS {
@@ -60,6 +77,14 @@ func (r *Registry) AddBatch(rrs []RR) {
 			rr.Class = ClassINET
 		}
 		r.records[rr.Name] = append(r.records[rr.Name], rr)
+		names = append(names, rr.Name)
+	}
+	hook := r.hook
+	r.mu.Unlock()
+	if hook != nil {
+		for _, n := range names {
+			hook(n)
+		}
 	}
 }
 
@@ -92,7 +117,6 @@ func (r *Registry) AddCNAME(name, target string, ttl uint32) {
 func (r *Registry) Remove(name string, typ uint16) int {
 	name = CanonicalName(name)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	rrs := r.records[name]
 	kept := rrs[:0]
 	removed := 0
@@ -107,6 +131,11 @@ func (r *Registry) Remove(name string, typ uint16) int {
 		delete(r.records, name)
 	} else {
 		r.records[name] = kept
+	}
+	hook := r.hook
+	r.mu.Unlock()
+	if removed > 0 && hook != nil {
+		hook(name)
 	}
 	return removed
 }

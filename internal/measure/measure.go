@@ -212,7 +212,7 @@ func Run(list *alexa.List, cfg Config) (*Dataset, error) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				r, err := measureDomain(entries[i], cfg)
+				r, err := measureDomain(entries[i], cfg, nil)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					return
@@ -229,13 +229,25 @@ func Run(list *alexa.List, cfg Config) (*Dataset, error) {
 	return ds, nil
 }
 
-func measureDomain(e alexa.Entry, cfg Config) (DomainResult, error) {
+// domainKeys records everything one domain's measurement depended on:
+// the owner names whose DNS records were consulted (the queried names
+// plus every CNAME target traversed), the public addresses matched
+// against the RIB, and the covering (prefix, origin) prefixes validated
+// against the VRP set. The incremental dataset inverts these into its
+// dirty-set indexes; a nil collector keeps the hot path allocation-free.
+type domainKeys struct {
+	hosts    []string
+	addrs    []netip.Addr
+	prefixes []netip.Prefix
+}
+
+func measureDomain(e alexa.Entry, cfg Config, keys *domainKeys) (DomainResult, error) {
 	r := DomainResult{Rank: e.Rank, Name: e.Domain, EqualPrefixShare: -1}
 	var err error
-	if r.WWW, err = measureVariant("www."+e.Domain, cfg); err != nil {
+	if r.WWW, err = measureVariant("www."+e.Domain, cfg, keys); err != nil {
 		return r, err
 	}
-	if r.Apex, err = measureVariant(e.Domain, cfg); err != nil {
+	if r.Apex, err = measureVariant(e.Domain, cfg, keys); err != nil {
 		return r, err
 	}
 	r.CDNByChain = r.WWW.Usable() && r.WWW.CNAMEs >= cfg.cdnThreshold()
@@ -263,11 +275,17 @@ func measureDomain(e alexa.Entry, cfg Config) (DomainResult, error) {
 	return r, nil
 }
 
-func measureVariant(name string, cfg Config) (VariantData, error) {
+func measureVariant(name string, cfg Config, keys *domainKeys) (VariantData, error) {
 	var v VariantData
 	res, err := cfg.Resolver.LookupWeb(name)
 	if err != nil {
 		return v, fmt.Errorf("measure: resolving %q: %w", name, err)
+	}
+	if keys != nil {
+		// The queried name is recorded even when it does not exist:
+		// a record added there later must re-trigger this measurement.
+		keys.hosts = append(keys.hosts, dns.CanonicalName(name))
+		keys.hosts = append(keys.hosts, res.Chain...)
 	}
 	if res.NXDomain {
 		v.NXDomain = true
@@ -287,6 +305,9 @@ func measureVariant(name string, cfg Config) (VariantData, error) {
 			continue
 		}
 		v.Addrs++
+		if keys != nil {
+			keys.addrs = append(keys.addrs, a)
+		}
 		pairs := cfg.RIB.OriginPairs(a)
 		if len(pairs) == 0 {
 			if !cfg.RIB.Reachable(a) {
@@ -332,6 +353,9 @@ func measureVariant(name string, cfg Config) (VariantData, error) {
 	sort.Slice(v.prefixes, func(i, j int) bool {
 		return netutil.ComparePrefixes(v.prefixes[i], v.prefixes[j]) < 0
 	})
+	if keys != nil {
+		keys.prefixes = append(keys.prefixes, v.prefixes...)
+	}
 	return v, nil
 }
 
@@ -358,6 +382,7 @@ func jaccard(a, b []netip.Prefix) float64 {
 }
 
 func (ds *Dataset) computeTotals() {
+	ds.Totals = Totals{}
 	t := &ds.Totals
 	t.Domains = len(ds.Results)
 	for i := range ds.Results {

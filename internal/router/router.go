@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"ripki/internal/bgp"
+	"ripki/internal/radix"
 	"ripki/internal/rib"
 	"ripki/internal/rpki/vrp"
 )
@@ -96,6 +97,12 @@ type Router struct {
 	// dropped as Invalid comes back once the offending ROA is revoked,
 	// exactly as RFC 6811 routers re-apply policy to Adj-RIB-In.
 	adjIn map[adjKey]bgp.RouteEvent
+	// adjIdx indexes adjIn keys by announced prefix so revalidation
+	// scoped to a VRP delta finds the affected announcements without
+	// scanning the full Adj-RIB-In: a VRP change at prefix Q can only
+	// flip routes announced at Q or below (RFC 6811 consults covering
+	// VRPs), and those are exactly the subtree of Q here.
+	adjIdx radix.Tree[map[adjKey]struct{}]
 }
 
 // adjKey identifies one peer's announcement of one prefix.
@@ -161,6 +168,12 @@ func (r *Router) Process(ev bgp.RouteEvent) (Decision, error) {
 	if ev.Withdraw {
 		r.mu.Lock()
 		delete(r.adjIn, key)
+		if m, ok := r.adjIdx.Lookup(key.prefix); ok {
+			delete(m, key)
+			if len(m) == 0 {
+				r.adjIdx.Delete(key.prefix)
+			}
+		}
 		r.mu.Unlock()
 		if err := r.table.Apply(ev); err != nil {
 			return Decision{}, err
@@ -172,6 +185,12 @@ func (r *Router) Process(ev bgp.RouteEvent) (Decision, error) {
 	r.mu.Lock()
 	r.decided[state]++
 	r.adjIn[key] = ev
+	if m, ok := r.adjIdx.Lookup(key.prefix); ok {
+		m[key] = struct{}{}
+	} else {
+		// adjKey prefixes are masked, so Insert cannot fail.
+		_ = r.adjIdx.Insert(key.prefix, map[adjKey]struct{}{key: {}})
+	}
 	r.mu.Unlock()
 	if policy == PolicyDropInvalid && state == vrp.Invalid {
 		return Decision{State: state, Accepted: false}, nil
@@ -256,6 +275,79 @@ func (r *Router) Revalidate() RevalidationResult {
 		r.deprefered = fresh
 		r.mu.Unlock()
 		res.Deprefered = len(fresh)
+	}
+	return res
+}
+
+// RevalidateAffected re-applies origin validation and policy to exactly
+// the Adj-RIB-In routes whose validation outcome may have changed after
+// a VRP delta: those announced at one of the changed prefixes or below
+// (RFC 6811 validates a route against its covering VRPs, so a VRP
+// change at Q can only flip routes at Q or more-specific). For those
+// routes the outcome — local-RIB content, drop count, depreference
+// marks — matches a full Revalidate; unaffected routes cannot change
+// state and are left untouched. The tallies cover only the routes
+// examined, and under PolicyPreferValid a mark whose last announcing
+// route has since been withdrawn persists until the next full
+// Revalidate (such a mark names an unrouted pair, so Forward never sees
+// it).
+func (r *Router) RevalidateAffected(changed []netip.Prefix) RevalidationResult {
+	policy := r.effectivePolicy()
+	set := r.source.Set()
+	r.mu.Lock()
+	var events []bgp.RouteEvent
+	seen := make(map[adjKey]struct{})
+	var entries []radix.Entry[map[adjKey]struct{}]
+	for _, p := range changed {
+		entries = r.adjIdx.Subtree(p, entries[:0])
+		for _, e := range entries {
+			for k := range e.Value {
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				events = append(events, r.adjIn[k])
+			}
+		}
+	}
+	r.mu.Unlock()
+
+	var res RevalidationResult
+	for _, ev := range events {
+		res.Routes++
+		state, origin, ok := validateRoute(set, ev.Prefix, ev.Path, policy)
+		switch state {
+		case vrp.Valid:
+			res.Valid++
+		case vrp.Invalid:
+			res.Invalid++
+		default:
+			res.NotFound++
+		}
+		if policy == PolicyDropInvalid && state == vrp.Invalid {
+			if r.table.WithdrawEvent(ev) {
+				res.Dropped++
+			}
+			continue
+		}
+		if err := r.table.Apply(ev); err != nil {
+			continue
+		}
+		if policy == PolicyPreferValid && ok {
+			key := rib.PrefixOrigin{Prefix: ev.Prefix.Masked(), Origin: origin}
+			r.mu.Lock()
+			if state == vrp.Invalid {
+				r.deprefered[key] = true
+			} else {
+				delete(r.deprefered, key)
+			}
+			r.mu.Unlock()
+		}
+	}
+	if policy == PolicyPreferValid {
+		r.mu.Lock()
+		res.Deprefered = len(r.deprefered)
+		r.mu.Unlock()
 	}
 	return res
 }

@@ -1,9 +1,10 @@
 package vrp
 
 import (
+	"cmp"
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
 
 	"ripki/internal/netutil"
 	"ripki/internal/radix"
@@ -114,16 +115,23 @@ func classify(entries []radix.Entry[[]VRP], cp netip.Prefix, originAS uint32) (S
 	return state, covering
 }
 
-// sortAll orders VRPs by (prefix, maxLength, ASN) — the canonical order
-// All (on both Set and Index) reports.
+// Compare orders two VRPs by (prefix, maxLength, ASN) — the canonical
+// total order All (on both Set and Index) reports in. It is exported so
+// every other VRP ordering in the tree (the sim engine's truth
+// bookkeeping, the RTR cache's delta records) sorts with the same
+// comparator and cannot drift from All.
+func Compare(a, b VRP) int {
+	if c := netutil.ComparePrefixes(a.Prefix, b.Prefix); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.MaxLength, b.MaxLength); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.ASN, b.ASN)
+}
+
+// sortAll orders VRPs by Compare. The comparator is a strict total
+// order over the full triple, so the unstable sort is deterministic.
 func sortAll(out []VRP) {
-	sort.Slice(out, func(i, j int) bool {
-		if c := netutil.ComparePrefixes(out[i].Prefix, out[j].Prefix); c != 0 {
-			return c < 0
-		}
-		if out[i].MaxLength != out[j].MaxLength {
-			return out[i].MaxLength < out[j].MaxLength
-		}
-		return out[i].ASN < out[j].ASN
-	})
+	slices.SortFunc(out, Compare)
 }

@@ -98,6 +98,80 @@ func (s *Set) Add(v VRP) error {
 	return nil
 }
 
+// Remove deletes a VRP, reporting whether it was present. The radix
+// node is dropped when its last payload goes, so covering queries never
+// see a prefix with no VRPs behind it.
+func (s *Set) Remove(v VRP) bool {
+	cp, err := netutil.Canonical(v.Prefix)
+	if err != nil {
+		return false
+	}
+	v.Prefix = cp
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	existing, ok := s.tree.Lookup(cp)
+	if !ok {
+		return false
+	}
+	for i, e := range existing {
+		if e != v {
+			continue
+		}
+		if len(existing) == 1 {
+			s.tree.Delete(cp)
+		} else {
+			rest := make([]VRP, 0, len(existing)-1)
+			rest = append(rest, existing[:i]...)
+			rest = append(rest, existing[i+1:]...)
+			if err := s.tree.Insert(cp, rest); err != nil {
+				return false
+			}
+		}
+		s.count--
+		return true
+	}
+	return false
+}
+
+// Contains reports whether the set holds exactly v (after prefix
+// canonicalisation).
+func (s *Set) Contains(v VRP) bool {
+	cp, err := netutil.Canonical(v.Prefix)
+	if err != nil {
+		return false
+	}
+	v.Prefix = cp
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	existing, _ := s.tree.Lookup(cp)
+	for _, e := range existing {
+		if e == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy: the original and the clone can be
+// mutated without affecting each other. Delta-maintained truth state
+// (the sim engine, the RTR cache's in-place update path) clones the
+// shared snapshot once and then edits its private copy.
+func (s *Set) Clone() *Set {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewSet()
+	s.tree.Walk(func(p netip.Prefix, vs []VRP) bool {
+		cp := make([]VRP, len(vs))
+		copy(cp, vs)
+		// Walk yields prefixes that already passed canonicalisation on
+		// the way in, so Insert cannot fail.
+		_ = c.tree.Insert(p, cp)
+		return true
+	})
+	c.count = s.count
+	return c
+}
+
 // Len returns the number of distinct VRPs.
 func (s *Set) Len() int {
 	s.mu.RLock()

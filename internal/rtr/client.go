@@ -3,8 +3,11 @@ package rtr
 import (
 	"fmt"
 	"net"
+	"net/netip"
+	"slices"
 	"sync"
 
+	"ripki/internal/netutil"
 	"ripki/internal/rpki/vrp"
 )
 
@@ -18,11 +21,22 @@ type Client struct {
 	serial    uint32
 	haveState bool
 	records   map[vrp.VRP]bool
+	// live mirrors records as a query-ready vrp.Set, maintained
+	// record-by-record so View never pays a full rebuild.
+	live *vrp.Set
+	// changed accumulates the prefixes whose VRP membership moved since
+	// the last TakeDelta — the input for delta-scoped revalidation.
+	changed map[netip.Prefix]struct{}
 }
 
 // NewClient wraps an established connection to an RTR cache.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, records: make(map[vrp.VRP]bool)}
+	return &Client{
+		conn:    conn,
+		records: make(map[vrp.VRP]bool),
+		live:    vrp.NewSet(),
+		changed: make(map[netip.Prefix]struct{}),
+	}
 }
 
 // Dial connects to an RTR cache at addr ("host:port").
@@ -89,7 +103,16 @@ func (c *Client) readResponse(full bool) error {
 			c.mu.Lock()
 			c.sessionID = p.SessionID
 			if full {
+				// A full resync replaces everything, so mark every prefix
+				// held before the wipe as changed; the announcements that
+				// follow mark the new membership. The union is a superset
+				// of the true difference — delta consumers revalidate a
+				// little too much rather than too little.
+				for v := range c.records {
+					c.markLocked(v.Prefix)
+				}
 				c.records = make(map[vrp.VRP]bool)
+				c.live = vrp.NewSet()
 			}
 			c.mu.Unlock()
 			if err := c.readRecords(); err != nil {
@@ -123,9 +146,17 @@ func (c *Client) readRecords() error {
 		case *Prefix:
 			c.mu.Lock()
 			if p.Announce {
-				c.records[p.VRP] = true
-			} else {
+				if !c.records[p.VRP] {
+					c.records[p.VRP] = true
+					// records only ever holds VRPs decoded from valid
+					// PDUs, so Add cannot fail.
+					_ = c.live.Add(p.VRP)
+					c.markLocked(p.VRP.Prefix)
+				}
+			} else if c.records[p.VRP] {
 				delete(c.records, p.VRP)
+				c.live.Remove(p.VRP)
+				c.markLocked(p.VRP.Prefix)
 			}
 			c.mu.Unlock()
 		case *EndOfData:
@@ -163,15 +194,45 @@ func (c *Client) WaitNotify() (uint32, error) {
 }
 
 // Set snapshots the current records into a vrp.Set for origin
-// validation.
+// validation. The returned set is an independent copy.
 func (c *Client) Set() *vrp.Set {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := vrp.NewSet()
-	for v := range c.records {
-		// records only ever holds VRPs decoded from valid PDUs, so Add
-		// cannot fail; ignore the error deliberately.
-		_ = s.Add(v)
+	return c.live.Clone()
+}
+
+// View returns the client's live VRP set without copying. Unlike Set,
+// the returned set IS the session state: the next Poll or Reset mutates
+// it in place, so callers must treat it as read-only and re-read the
+// view after each synchronisation (the sim engine swaps it into each
+// router's source at every refresh).
+func (c *Client) View() *vrp.Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.live
+}
+
+// TakeDelta drains and returns the prefixes whose VRP membership
+// changed since the previous call (or since the session began), sorted.
+// A full resynchronisation marks every prefix held before and after the
+// wipe — a superset of the true difference, so delta-scoped
+// revalidation can only over-check, never miss a change.
+func (c *Client) TakeDelta() []netip.Prefix {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.changed) == 0 {
+		return nil
 	}
-	return s
+	out := make([]netip.Prefix, 0, len(c.changed))
+	for p := range c.changed {
+		out = append(out, p)
+	}
+	clear(c.changed)
+	slices.SortFunc(out, netutil.ComparePrefixes)
+	return out
+}
+
+// markLocked records a membership change at p. Called with c.mu held.
+func (c *Client) markLocked(p netip.Prefix) {
+	c.changed[p] = struct{}{}
 }

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"log"
 	"net"
+	"slices"
 	"sync"
 
+	"ripki/internal/netutil"
 	"ripki/internal/rpki/vrp"
 )
 
@@ -26,6 +28,7 @@ type Server struct {
 	sessionID uint16
 	serial    uint32
 	current   *vrp.Set
+	owned     bool             // current is the server's private copy, safe to edit in place
 	deltas    map[uint32]delta // keyed by the serial the delta upgrades FROM
 	maxDeltas int
 	conns     map[net.Conn]struct{}
@@ -68,7 +71,76 @@ func (s *Server) Update(set *vrp.Set) {
 		s.mu.Unlock()
 		return
 	}
-	s.deltas[s.serial] = delta{announce: ann, withdraw: wd}
+	s.recordDeltaLocked(delta{announce: ann, withdraw: wd})
+	s.current = set
+	s.owned = false
+	s.notifyLocked()
+}
+
+// UpdateDelta applies a caller-supplied delta to the served set:
+// announce VRPs that should now be present, withdraw VRPs that should
+// be gone. Entries that would not change membership are dropped, so —
+// exactly like Update — a delta that nets to nothing is a no-op: no
+// serial bump, no notification, no retained history. The effective
+// delta is recorded in the same canonical order Diff produces
+// (vrp.Compare over the sorted-All ordering), so routers cannot tell
+// the two update paths apart byte-for-byte. The first in-place edit
+// clones the served set — the set handed to NewServer or Update stays
+// the caller's — and subsequent deltas edit the private copy directly.
+func (s *Server) UpdateDelta(announce, withdraw []vrp.VRP) {
+	s.mu.Lock()
+	var ann, wd []vrp.VRP
+	ensureOwned := func() {
+		if !s.owned {
+			s.current = s.current.Clone()
+			s.owned = true
+		}
+	}
+	for _, v := range announce {
+		cp, err := netutil.Canonical(v.Prefix)
+		if err != nil {
+			continue
+		}
+		v.Prefix = cp
+		if s.current.Contains(v) {
+			continue
+		}
+		ensureOwned()
+		if s.current.Add(v) != nil {
+			continue
+		}
+		ann = append(ann, v)
+	}
+	for _, v := range withdraw {
+		cp, err := netutil.Canonical(v.Prefix)
+		if err != nil {
+			continue
+		}
+		v.Prefix = cp
+		if !s.current.Contains(v) {
+			continue
+		}
+		ensureOwned()
+		if !s.current.Remove(v) {
+			continue
+		}
+		wd = append(wd, v)
+	}
+	if len(ann) == 0 && len(wd) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	slices.SortFunc(ann, vrp.Compare)
+	slices.SortFunc(wd, vrp.Compare)
+	s.recordDeltaLocked(delta{announce: ann, withdraw: wd})
+	s.notifyLocked()
+}
+
+// recordDeltaLocked retains a delta keyed by the serial it upgrades
+// from, evicts the oldest past the retention cap, and bumps the serial.
+// Called with s.mu held.
+func (s *Server) recordDeltaLocked(d delta) {
+	s.deltas[s.serial] = d
 	if len(s.deltas) > s.maxDeltas {
 		// Drop the oldest retained delta (smallest key).
 		var oldest uint32
@@ -81,8 +153,6 @@ func (s *Server) Update(set *vrp.Set) {
 		delete(s.deltas, oldest)
 	}
 	s.serial++
-	s.current = set
-	s.notifyLocked()
 }
 
 // ResetSession simulates a cache restart: the session ID changes, the

@@ -103,7 +103,7 @@ func (s *Service) RunSim(ctx context.Context, cfg sim.Config, interval time.Dura
 		_, err := s.PublishSet(sm.TruthSet(), "sim", uint32(sm.Tick()))
 		return err
 	}
-	last := sm.TruthSet()
+	last := sm.TruthGen()
 	if err := publish(); err != nil {
 		return err
 	}
@@ -121,10 +121,12 @@ func (s *Service) RunSim(ctx context.Context, cfg sim.Config, interval time.Dura
 			}
 			return nil
 		}
-		// TruthSet is memoised between mutations, so pointer identity
-		// detects "this tick changed the VRPs" without a diff.
-		if set := sm.TruthSet(); set != last {
-			last = set
+		// The truth generation counts mutations, so comparing it
+		// detects "this tick changed the VRPs" without a diff (the
+		// incremental engine edits TruthSet in place, so pointer
+		// identity would miss changes).
+		if gen := sm.TruthGen(); gen != last {
+			last = gen
 			if err := publish(); err != nil {
 				return err
 			}

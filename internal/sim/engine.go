@@ -6,7 +6,10 @@ import (
 	"math/rand"
 	"net"
 	"net/netip"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ripki/internal/alexa"
@@ -75,20 +78,34 @@ type Simulation struct {
 
 	scenario   Scenario
 	truth      map[vrp.VRP]bool
-	truthCache *vrp.Set // memoised TruthSet; nil after a mutation
+	truthCache *vrp.Set // memoised TruthSet; nil after a mutation (full mode only)
+	truthGen   uint64   // bumped on every truth mutation; see TruthGen
 	dirty      bool
 	outage     bool // cold cache restart in progress: no flushes
-	start      time.Time
-	now        time.Time
-	end        time.Time
-	tick       int
-	session    uint16
-	err        error
-	ln         net.Listener
-	probeList  *alexa.List
-	headCut    int
-	hijacks    []*Hijack
-	closed     bool
+
+	// Incremental-mode state. incremental is the default; with it on,
+	// truthCache is maintained by delta-apply (clone-on-write out of the
+	// world's shared snapshot, then in-place edits), pending accumulates
+	// the VRPs touched since the last flush so the cache can be updated
+	// by delta, needFull forces the next flush onto the full-set path
+	// after a cold restart emptied the cache, and inc is the probe's
+	// incremental dataset (built lazily at the first probe).
+	incremental bool
+	truthOwned  bool
+	needFull    bool
+	pending     map[vrp.VRP]bool // desired membership of touched VRPs
+	inc         *measure.Incremental
+	start       time.Time
+	now         time.Time
+	end         time.Time
+	tick        int
+	session     uint16
+	err         error
+	ln          net.Listener
+	probeList   *alexa.List
+	headCut     int
+	hijacks     []*Hijack
+	closed      bool
 
 	trace       *obs.Trace
 	hijackStart map[string]time.Duration
@@ -124,17 +141,19 @@ func New(cfg Config) (*Simulation, error) {
 	}
 
 	s := &Simulation{
-		Cfg:        cfg,
-		World:      world,
-		Rand:       rand.New(rand.NewSource(cfg.Seed)),
-		Queue:      NewQueue(),
-		Bus:        NewBus(),
-		scenario:   scenario,
-		truth:      truth,
-		truthCache: validation.VRPs,
-		start:      world.MeasureTime(),
-		session:    uint16(cfg.Seed),
-		headCut:    cfg.Domains / 10,
+		Cfg:         cfg,
+		World:       world,
+		Rand:        rand.New(rand.NewSource(cfg.Seed)),
+		Queue:       NewQueue(),
+		Bus:         NewBus(),
+		scenario:    scenario,
+		truth:       truth,
+		truthCache:  validation.VRPs,
+		incremental: !cfg.DisableIncremental,
+		pending:     make(map[vrp.VRP]bool),
+		start:       world.MeasureTime(),
+		session:     uint16(cfg.Seed),
+		headCut:     cfg.Domains / 10,
 	}
 	if s.headCut == 0 {
 		s.headCut = 1
@@ -180,6 +199,10 @@ func New(cfg Config) (*Simulation, error) {
 			}
 			rp.Client = client
 			rp.source.set = client.Set()
+			// The initial Reset marked every synced prefix as changed;
+			// the routers are seeded against this state below, so the
+			// first delta-scoped revalidation must not replay it.
+			client.TakeDelta()
 		}
 		s.RPs = append(s.RPs, rp)
 	}
@@ -221,18 +244,30 @@ func New(cfg Config) (*Simulation, error) {
 	s.Bus.SubscribeAll(func(e Event) { s.Series.Events = append(s.Series.Events, e) })
 	s.probeList = s.sampleList()
 
-	// Recurring engine events: flush each tick, per-RP refresh at its
-	// cadence, probe at the sample cadence (including a t=0 baseline).
+	// Recurring engine events: flush each tick, one refresh dispatcher
+	// each tick (polling every RP whose cadence lands on that tick),
+	// probe at the sample cadence (including a t=0 baseline).
 	s.recur(s.start.Add(cfg.Tick), cfg.Tick, classFlush, s.flush)
 	for _, rp := range s.RPs {
-		if rp.Client == nil {
-			continue
+		if rp.Client != nil {
+			s.recur(s.start.Add(cfg.Tick), cfg.Tick, classRefresh, s.refreshDue)
+			break
 		}
-		rp := rp
-		every := time.Duration(rp.Spec.RefreshTicks) * cfg.Tick
-		s.recur(s.start.Add(every), every, classRefresh, func() { s.refresh(rp) })
 	}
 	s.recur(s.start, time.Duration(cfg.SampleEvery)*cfg.Tick, classProbe, s.probe)
+
+	// DNS mutations (scenarios re-point CDN chains and cache hosts)
+	// flow into the probe's dirty set through the registry hook. The
+	// registry is this run's own (sweep shared-world mode deep-copies it
+	// per cell), so the hook does not leak across simulations; Close
+	// detaches it.
+	if s.incremental {
+		s.World.Registry.SetMutationHook(func(name string) {
+			if s.inc != nil {
+				s.inc.DirtyHost(name)
+			}
+		})
+	}
 
 	// Setup is always Composite.Setup, which repoints Rand at each
 	// component's derived stream in turn — single scenarios included, so
@@ -354,6 +389,9 @@ func (s *Simulation) Close() error {
 	}
 	s.closed = true
 	s.closeTrace()
+	if s.incremental {
+		s.World.Registry.SetMutationHook(nil)
+	}
 	for _, rp := range s.RPs {
 		if rp.Client != nil {
 			rp.Client.Close()
@@ -413,7 +451,11 @@ func (s *Simulation) TruthVRPs() []vrp.VRP {
 }
 
 // TruthSet returns the ground truth as a queryable set, memoised
-// between mutations. The returned set must be treated as read-only.
+// between mutations. The returned set must be treated as read-only; in
+// incremental mode it is additionally live — later truth mutations
+// edit it in place rather than producing a fresh set — so callers that
+// need a frozen view must Clone it, and callers that need to detect
+// change must compare TruthGen values, not pointers.
 func (s *Simulation) TruthSet() *vrp.Set {
 	if s.truthCache == nil {
 		set, err := vrp.FromVRPs(s.TruthVRPs())
@@ -425,6 +467,12 @@ func (s *Simulation) TruthSet() *vrp.Set {
 	}
 	return s.truthCache
 }
+
+// TruthGen is a generation counter bumped on every ground-truth
+// mutation. It is the change-detection contract for TruthSet: the
+// incremental engine maintains the set by in-place delta-apply, so the
+// pointer stays stable across mutations and only the generation moves.
+func (s *Simulation) TruthGen() uint64 { return s.truthGen }
 
 // ROAData is the typed payload on TopicROA events: the VRP that moved,
 // which way, and the scenario's stated reason.
@@ -442,7 +490,20 @@ func (s *Simulation) IssueVRP(v vrp.VRP, detail string) {
 	}
 	s.truth[v] = true
 	s.dirty = true
-	s.truthCache = nil
+	s.truthGen++
+	if s.incremental {
+		s.ensureTruthOwned()
+		if err := s.truthCache.Add(v); err != nil {
+			s.fail(fmt.Errorf("sim: issuing %v: %w", v, err))
+			return
+		}
+		s.pending[v] = true
+		if s.inc != nil {
+			s.inc.DirtyVRP(v.Prefix)
+		}
+	} else {
+		s.truthCache = nil
+	}
 	s.Publish(TopicROA, fmt.Sprintf("issue %v (%s)", v, detail), ROAData{VRP: v, Reason: detail})
 }
 
@@ -453,8 +514,29 @@ func (s *Simulation) RevokeVRP(v vrp.VRP, detail string) {
 	}
 	delete(s.truth, v)
 	s.dirty = true
-	s.truthCache = nil
+	s.truthGen++
+	if s.incremental {
+		s.ensureTruthOwned()
+		s.truthCache.Remove(v)
+		s.pending[v] = false
+		if s.inc != nil {
+			s.inc.DirtyVRP(v.Prefix)
+		}
+	} else {
+		s.truthCache = nil
+	}
 	s.Publish(TopicROA, fmt.Sprintf("revoke %v (%s)", v, detail), ROAData{VRP: v, Revoke: true, Reason: detail})
+}
+
+// ensureTruthOwned makes truthCache this run's private copy. It starts
+// out aliasing the world's memoised validation set (shared across sweep
+// cells) and the set handed to the RTR server, so the first delta-apply
+// must clone before editing in place.
+func (s *Simulation) ensureTruthOwned() {
+	if !s.truthOwned {
+		s.truthCache = s.truthCache.Clone()
+		s.truthOwned = true
+	}
 }
 
 // routeEvent builds a collector route event from the first vantage peer.
@@ -564,6 +646,10 @@ func (s *Simulation) RestartCache(cold bool) {
 	if cold {
 		s.Server.Update(vrp.NewSet())
 		s.outage = true
+		// The cache lost its payloads, so the accumulated pending delta
+		// no longer describes the distance to the served set: the flush
+		// after recovery must push the full truth.
+		s.needFull = true
 		detail = "cache restart (cold: serving empty until revalidation)"
 		s.Queue.At(s.now.Add(2*s.Cfg.Tick), classScenario, func() {
 			s.outage = false
@@ -576,16 +662,42 @@ func (s *Simulation) RestartCache(cold bool) {
 
 // flush pushes the ground truth to the cache when it changed this tick.
 // During a cold-restart outage the cache has nothing validated to serve,
-// so flushes are held back until revalidation completes.
+// so flushes are held back until revalidation completes. In incremental
+// mode the accumulated pending delta is applied instead of diffing the
+// full set; both server paths no-op identically on a net-zero change,
+// so the serial sequence — and every byte downstream — is the same.
 func (s *Simulation) flush() {
 	if !s.dirty || s.outage {
 		return
 	}
-	set := s.TruthSet()
-	s.Server.Update(set)
+	if s.incremental && !s.needFull {
+		var ann, wd []vrp.VRP
+		for v, want := range s.pending {
+			if want {
+				ann = append(ann, v)
+			} else {
+				wd = append(wd, v)
+			}
+		}
+		slices.SortFunc(ann, vrp.Compare)
+		slices.SortFunc(wd, vrp.Compare)
+		s.Server.UpdateDelta(ann, wd)
+	} else {
+		set := s.TruthSet()
+		if s.incremental {
+			// The server retains the set it is handed while the
+			// engine's copy keeps being edited in place, so hand over a
+			// snapshot.
+			set = set.Clone()
+		}
+		s.Server.Update(set)
+		s.needFull = false
+	}
+	clear(s.pending)
 	s.dirty = false
-	s.Publish(TopicRTR, fmt.Sprintf("flush serial=%d vrps=%d", s.Server.Serial(), set.Len()),
-		FlushData{Serial: s.Server.Serial(), VRPs: set.Len()})
+	vrps := s.TruthSet().Len()
+	s.Publish(TopicRTR, fmt.Sprintf("flush serial=%d vrps=%d", s.Server.Serial(), vrps),
+		FlushData{Serial: s.Server.Serial(), VRPs: vrps})
 }
 
 // FlushData is the typed payload on TopicRTR flush events: the cache
@@ -605,17 +717,90 @@ type RefreshData struct {
 	Dropped int
 }
 
-// refresh is one relying party's poll + revalidation cycle.
-func (s *Simulation) refresh(rp *RP) {
-	if err := rp.Client.Poll(); err != nil {
-		s.fail(fmt.Errorf("sim: %s poll: %w", rp.Spec.Name, err))
+// refreshDue runs the poll + revalidation cycle for every relying party
+// whose cadence lands on this tick. The per-RP work fans out across a
+// bounded worker pool — each RP owns its client connection, router, and
+// local RIB, so the units are independent — and results land in
+// index-addressed slots, published afterwards in roster order, so the
+// event stream is identical regardless of goroutine scheduling. In
+// incremental mode each RP revalidates only the routes under the
+// prefixes its poll actually changed; a full-resync fallback (session
+// reset, delta history gone) marks everything and degrades gracefully
+// to the complete Adj-RIB-In.
+func (s *Simulation) refreshDue() {
+	var due []*RP
+	for _, rp := range s.RPs {
+		if rp.Client != nil && s.tick%rp.Spec.RefreshTicks == 0 {
+			due = append(due, rp)
+		}
+	}
+	if len(due) == 0 {
 		return
 	}
-	rp.source.set = rp.Client.Set()
-	res := rp.Router.Revalidate()
-	s.Publish(TopicRP, fmt.Sprintf("%s refresh serial=%d vrps=%d dropped=%d",
-		rp.Spec.Name, rp.Client.Serial(), rp.Client.Len(), res.Dropped),
-		RefreshData{RP: rp.Spec.Name, Serial: rp.Client.Serial(), VRPs: rp.Client.Len(), Dropped: res.Dropped})
+	type outcome struct {
+		serial  uint32
+		vrps    int
+		dropped int
+		err     error
+	}
+	outs := make([]outcome, len(due))
+	parallelFor(len(due), runtime.GOMAXPROCS(0), func(i int) {
+		rp := due[i]
+		if err := rp.Client.Poll(); err != nil {
+			outs[i].err = fmt.Errorf("sim: %s poll: %w", rp.Spec.Name, err)
+			return
+		}
+		var res router.RevalidationResult
+		if s.incremental {
+			changed := rp.Client.TakeDelta()
+			rp.source.set = rp.Client.View()
+			res = rp.Router.RevalidateAffected(changed)
+		} else {
+			rp.source.set = rp.Client.Set()
+			res = rp.Router.Revalidate()
+		}
+		outs[i] = outcome{serial: rp.Client.Serial(), vrps: rp.Client.Len(), dropped: res.Dropped}
+	})
+	for i, rp := range due {
+		if outs[i].err != nil {
+			s.fail(outs[i].err)
+			continue
+		}
+		s.Publish(TopicRP, fmt.Sprintf("%s refresh serial=%d vrps=%d dropped=%d",
+			rp.Spec.Name, outs[i].serial, outs[i].vrps, outs[i].dropped),
+			RefreshData{RP: rp.Spec.Name, Serial: outs[i].serial, VRPs: outs[i].vrps, Dropped: outs[i].dropped})
+	}
+}
+
+// parallelFor runs fn(0..n-1) across at most workers goroutines.
+// Callers write results into index-addressed slots, so parallelism
+// never reorders anything observable.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // probe records one time-series row. The measured exposure columns
@@ -625,15 +810,30 @@ func (s *Simulation) refresh(rp *RP) {
 // shows up in the vrps_* columns and its routing consequences in the
 // hijacked_* columns.
 func (s *Simulation) probe() {
-	ds, err := measure.Run(s.probeList, measure.Config{
-		Resolver: dns.RegistryResolver{Registry: s.World.Registry},
-		RIB:      s.World.RIB,
-		VRPs:     s.TruthSet(),
-		BinWidth: s.headCut,
-	})
-	if err != nil {
-		s.fail(fmt.Errorf("sim: probe: %w", err))
-		return
+	var ds *measure.Dataset
+	if s.incremental {
+		if s.inc == nil {
+			inc, err := measure.NewIncremental(s.probeList, s.measureConfig())
+			if err != nil {
+				s.fail(fmt.Errorf("sim: probe: %w", err))
+				return
+			}
+			s.inc = inc
+		} else {
+			s.inc.SetVRPs(s.TruthSet())
+			if err := s.inc.Refresh(); err != nil {
+				s.fail(fmt.Errorf("sim: probe: %w", err))
+				return
+			}
+		}
+		ds = s.inc.Dataset()
+	} else {
+		var err error
+		ds, err = measure.Run(s.probeList, s.measureConfig())
+		if err != nil {
+			s.fail(fmt.Errorf("sim: probe: %w", err))
+			return
+		}
 	}
 	snap := measure.Snapshot(ds, s.headCut)
 
@@ -643,21 +843,45 @@ func (s *Simulation) probe() {
 		float64(s.Server.Serial()),
 		float64(len(s.truth)),
 	}
-	for _, rp := range s.RPs {
+	// The per-RP columns — synced payload counts, then hijack-forward
+	// outcomes — fan out across the worker pool into index-addressed
+	// slots. Each victim address is resolved through a router once per
+	// tick (campaigns can share a victim), not once per comparison.
+	type rpSample struct {
+		vrps      int
+		hasClient bool
+		hijacked  int
+	}
+	samples := make([]rpSample, len(s.RPs))
+	parallelFor(len(s.RPs), runtime.GOMAXPROCS(0), func(i int) {
+		rp := s.RPs[i]
 		if rp.Client != nil {
-			row = append(row, float64(rp.Client.Len()))
+			samples[i] = rpSample{vrps: rp.Client.Len(), hasClient: true}
+		}
+		if len(s.hijacks) == 0 {
+			return
+		}
+		fwd := make(map[netip.Addr]rib.PrefixOrigin, len(s.hijacks))
+		routed := make(map[netip.Addr]bool, len(s.hijacks))
+		for _, h := range s.hijacks {
+			if _, seen := routed[h.Victim]; !seen {
+				po, ok := rp.Router.Forward(h.Victim)
+				fwd[h.Victim], routed[h.Victim] = po, ok
+			}
+			if routed[h.Victim] && fwd[h.Victim].Prefix == h.Prefix {
+				samples[i].hijacked++
+			}
+		}
+	})
+	for _, sm := range samples {
+		if sm.hasClient {
+			row = append(row, float64(sm.vrps))
 		}
 	}
 	row = append(row, snap.Valid, snap.Invalid, snap.NotFound, snap.Coverage,
 		snap.HeadValid, snap.TailValid, float64(len(s.hijacks)))
-	for _, rp := range s.RPs {
-		hijacked := 0
-		for _, h := range s.hijacks {
-			if po, ok := rp.Router.Forward(h.Victim); ok && po.Prefix == h.Prefix {
-				hijacked++
-			}
-		}
-		row = append(row, float64(hijacked))
+	for _, sm := range samples {
+		row = append(row, float64(sm.hijacked))
 	}
 	s.Series.Add(row)
 	s.Publish(TopicSample, fmt.Sprintf("tick=%d valid=%.4f hijacks=%d", s.tick, snap.Valid, len(s.hijacks)),
@@ -673,22 +897,21 @@ func (s *Simulation) probe() {
 		})
 }
 
-// sortVRPs orders VRPs by (prefix, maxLength, ASN) — the same total
-// order vrp.Set.All uses.
+// measureConfig wires the probe's measurement pipeline to this run's
+// world and ground truth.
+func (s *Simulation) measureConfig() measure.Config {
+	return measure.Config{
+		Resolver: dns.RegistryResolver{Registry: s.World.Registry},
+		RIB:      s.World.RIB,
+		VRPs:     s.TruthSet(),
+		BinWidth: s.headCut,
+	}
+}
+
+// sortVRPs orders VRPs with vrp.Compare — the same total order
+// vrp.Set.All uses, shared so the two orderings cannot drift.
 func sortVRPs(vs []vrp.VRP) {
-	sort.Slice(vs, func(i, j int) bool {
-		a, b := vs[i], vs[j]
-		if c := a.Prefix.Addr().Compare(b.Prefix.Addr()); c != 0 {
-			return c < 0
-		}
-		if a.Prefix.Bits() != b.Prefix.Bits() {
-			return a.Prefix.Bits() < b.Prefix.Bits()
-		}
-		if a.MaxLength != b.MaxLength {
-			return a.MaxLength < b.MaxLength
-		}
-		return a.ASN < b.ASN
-	})
+	slices.SortFunc(vs, vrp.Compare)
 }
 
 // RunScenario is the one-call entry point: build, run, close, return the

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ripki/internal/router"
+)
+
+// runJSON runs a config and returns the full JSON export — series rows
+// AND the recorded event stream, so a comparison catches serial drift,
+// refresh bookkeeping, and flush behaviour, not just the sampled rows.
+func runJSON(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	ts, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Scenario, err)
+	}
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIncrementalMatchesFull is the incremental layer's contract: for
+// every registered scenario (and a three-way composition), the default
+// incremental paths — dirty-set probe, delta-applied truth, delta
+// cache updates, delta-scoped revalidation — produce output
+// byte-identical to the full-recompute escape hatch.
+func TestIncrementalMatchesFull(t *testing.T) {
+	specs := append(Names(), "hijack-window+rp-lag+roa-churn")
+	for _, name := range specs {
+		t.Run(name, func(t *testing.T) {
+			inc := runJSON(t, testConfig(name))
+			cfg := testConfig(name)
+			cfg.DisableIncremental = true
+			full := runJSON(t, cfg)
+			if !bytes.Equal(inc, full) {
+				t.Errorf("incremental and full recompute differ for %s:\n--- incremental ---\n%s\n--- full ---\n%s", name, inc, full)
+			}
+		})
+	}
+}
+
+// TestParallelRefreshRace hammers the concurrent per-RP paths — the
+// refresh dispatcher's parallel poll + revalidate and the probe's
+// parallel hijack-forward sampling — with a wide roster of coinciding
+// cadences and active hijack campaigns. Its real teeth are under
+// `go test -race`; without the race detector it still asserts the run
+// completes and samples every RP column.
+func TestParallelRefreshRace(t *testing.T) {
+	cfg := testConfig("roa-churn+route-leak")
+	cfg.Duration = 5 * time.Minute
+	cfg.RPs = []RPSpec{
+		{Name: "rp-a", RefreshTicks: 1, Policy: router.PolicyDropInvalid},
+		{Name: "rp-b", RefreshTicks: 1, Policy: router.PolicyDropInvalid},
+		{Name: "rp-c", RefreshTicks: 2, Policy: router.PolicyDropInvalid},
+		{Name: "rp-d", RefreshTicks: 2, Policy: router.PolicyPreferValid},
+		{Name: "rp-e", RefreshTicks: 3, Policy: router.PolicyDropInvalid},
+		{Name: "rp-f", RefreshTicks: 3, Policy: router.PolicyAcceptAll},
+		{Name: "legacy", RefreshTicks: 0, Policy: router.PolicyAcceptAll},
+		{Name: "rp-g", RefreshTicks: 1, Policy: router.PolicyPreferValid},
+	}
+	ts, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Rows) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	for _, rp := range cfg.RPs {
+		if ts.Column("hijacked_"+rp.Name) == nil {
+			t.Errorf("missing hijacked_%s column", rp.Name)
+		}
+	}
+}
